@@ -1,0 +1,161 @@
+(* Benchmark & experiment harness: regenerates every table of
+   EXPERIMENTS.md. The paper (SIGMOD 1990) has no quantitative tables of
+   its own — figs. 1-7 are protocol artifacts — so each table here
+   corresponds to a figure-reproduction (E-series) or to a performance
+   claim made in the paper's prose (B-series). See DESIGN.md §4. *)
+
+open Bechamel
+open Toolkit
+module Disk = Rrq_storage.Disk
+module Wal = Rrq_wal.Wal
+module Qm = Rrq_qm.Qm
+module Kvdb = Rrq_kvdb.Kvdb
+module Tm = Rrq_txn.Tm
+module Table = Rrq_util.Table
+
+(* ---- B1: micro-benchmarks (bechamel) ----------------------------------- *)
+
+let bench_stable_roundtrip () =
+  let disk = Disk.create "bench" in
+  let qm = Qm.open_qm disk ~name:"qm" in
+  Qm.create_queue qm "q";
+  let h, _ = Qm.register qm ~queue:"q" ~registrant:"b" ~stable:false in
+  let payload = String.make 128 'x' in
+  Staged.stage (fun () ->
+      ignore (Qm.auto_commit qm (fun id -> Qm.enqueue qm id h payload));
+      ignore (Qm.auto_commit qm (fun id -> Qm.dequeue qm id h Qm.No_wait)))
+
+let bench_volatile_roundtrip () =
+  let disk = Disk.create "bench" in
+  let qm = Qm.open_qm disk ~name:"qm" in
+  Qm.create_queue qm ~attrs:{ Qm.default_attrs with durability = Qm.Volatile } "q";
+  let h, _ = Qm.register qm ~queue:"q" ~registrant:"b" ~stable:false in
+  let payload = String.make 128 'x' in
+  Staged.stage (fun () ->
+      ignore (Qm.auto_commit qm (fun id -> Qm.enqueue qm id h payload));
+      ignore (Qm.auto_commit qm (fun id -> Qm.dequeue qm id h Qm.No_wait)))
+
+let bench_tagged_roundtrip () =
+  let disk = Disk.create "bench" in
+  let qm = Qm.open_qm disk ~name:"qm" in
+  Qm.create_queue qm "q";
+  let h, _ = Qm.register qm ~queue:"q" ~registrant:"b" ~stable:true in
+  let payload = String.make 128 'x' in
+  let n = ref 0 in
+  Staged.stage (fun () ->
+      incr n;
+      let tag = "rid" ^ string_of_int !n in
+      ignore (Qm.auto_commit qm (fun id -> Qm.enqueue qm id h ~tag payload));
+      ignore (Qm.auto_commit qm (fun id -> Qm.dequeue qm id h ~tag Qm.No_wait)))
+
+let bench_read () =
+  let disk = Disk.create "bench" in
+  let qm = Qm.open_qm disk ~name:"qm" in
+  Qm.create_queue qm "q";
+  let h, _ = Qm.register qm ~queue:"q" ~registrant:"b" ~stable:false in
+  let eid = Qm.auto_commit qm (fun id -> Qm.enqueue qm id h "payload") in
+  Staged.stage (fun () -> ignore (Qm.read qm eid))
+
+let bench_wal_append () =
+  let disk = Disk.create "bench" in
+  let wal, _ = Wal.open_log disk ~name:"w" in
+  let record = String.make 128 'r' in
+  Staged.stage (fun () -> Wal.append_sync wal record)
+
+let bench_kv_put () =
+  let disk = Disk.create "bench" in
+  let kv = Kvdb.open_kv disk ~name:"kv" in
+  let n = ref 0 in
+  Staged.stage (fun () ->
+      incr n;
+      let id = Rrq_txn.Txid.make ~origin:"b" ~inc:1 ~n:!n in
+      Kvdb.put kv id ("k" ^ string_of_int (!n mod 512)) "v";
+      ignore ((Kvdb.participant kv).Tm.p_one_phase id))
+
+let b1_tests =
+  Test.make_grouped ~name:"B1" ~fmt:"%s %s"
+    [
+      Test.make ~name:"stable enq+deq (128B)" (bench_stable_roundtrip ());
+      Test.make ~name:"volatile enq+deq (128B)" (bench_volatile_roundtrip ());
+      Test.make ~name:"tagged enq+deq (ckpt)" (bench_tagged_roundtrip ());
+      Test.make ~name:"read by eid" (bench_read ());
+      Test.make ~name:"wal append+sync (128B)" (bench_wal_append ());
+      Test.make ~name:"kvdb put (1-phase)" (bench_kv_put ());
+    ]
+
+let run_b1 () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances b1_tests in
+  let results =
+    Analyze.merge ols instances
+      (List.map (fun i -> Analyze.all ols i raw) instances)
+  in
+  let t =
+    Table.create
+      ~title:"B1: queue-manager operation costs (paper 10: main-memory DB + log)"
+      ~columns:[ "operation"; "ns/op"; "r^2" ]
+  in
+  (match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
+  | None -> ()
+  | Some per_test ->
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) per_test []
+    |> List.sort compare
+    |> List.iter (fun (name, ols) ->
+           let est =
+             match Analyze.OLS.estimates ols with
+             | Some (e :: _) -> Printf.sprintf "%.0f" e
+             | _ -> "?"
+           in
+           let r2 =
+             match Analyze.OLS.r_square ols with
+             | Some r -> Printf.sprintf "%.3f" r
+             | None -> "?"
+           in
+           Table.add_row t [ name; est; r2 ]));
+  Table.print t
+
+(* ---- experiment tables -------------------------------------------------- *)
+
+let section title = Printf.printf "\n######## %s ########\n\n%!" title
+
+let () =
+  section "E1 - exactly-once request processing (figs. 4/5)";
+  Table.print
+    (Rrq_harness.E_exactly_once.table (Rrq_harness.E_exactly_once.run ()));
+  section "E2 - multi-transaction request chains (fig. 6)";
+  Table.print (Rrq_harness.E_chain.crash_table (Rrq_harness.E_chain.run_crash_matrix ()));
+  section "E3 - interactive requests (fig. 7, sec. 8)";
+  Table.print (Rrq_harness.E_interactive.table (Rrq_harness.E_interactive.run ()));
+  section "B1 - queue operation micro-costs (sec. 10)";
+  run_b1 ();
+  section "B2 - lock-holding client designs (sec. 2)";
+  Table.print (Rrq_harness.E_contention.table (Rrq_harness.E_contention.run ()));
+  section "B3/B5 - dequeue concurrency & load sharing (secs. 1, 10)";
+  Table.print (Rrq_harness.E_queueing.drain_table (Rrq_harness.E_queueing.run_drain ()));
+  section "B4 - burst absorption (sec. 1)";
+  Table.print (Rrq_harness.E_queueing.burst_table (Rrq_harness.E_queueing.run_burst ()));
+  section "B6 - chain vs one long transaction (sec. 6)";
+  Table.print
+    (Rrq_harness.E_chain.contention_table (Rrq_harness.E_chain.run_contention ()));
+  section "B7 - recovery and checkpointing (sec. 10)";
+  Table.print (Rrq_harness.E_recovery.table (Rrq_harness.E_recovery.run ()));
+  section "B8 - request serializability via lock inheritance (sec. 6)";
+  Table.print
+    (Rrq_harness.E_chain.serializability_table
+       (Rrq_harness.E_chain.run_serializability ()));
+  section "B9 - replicated queues (sec. 11)";
+  Table.print
+    (Rrq_harness.E_replication.table (Rrq_harness.E_replication.run ()));
+  section "B10 - streaming requests and replies (sec. 11)";
+  Table.print (Rrq_harness.E_stream.table (Rrq_harness.E_stream.run ()));
+  section "B11 - priority scheduling (sec. 11)";
+  Table.print
+    (Rrq_harness.E_queueing.priority_table (Rrq_harness.E_queueing.run_priority ()));
+  section "A1 - ablation: error queues vs cyclic restart (secs. 4.2, 5)";
+  Table.print
+    (Rrq_harness.E_queueing.poison_table (Rrq_harness.E_queueing.run_poison ()));
+  print_endline "all experiments completed"

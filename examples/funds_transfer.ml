@@ -1,0 +1,139 @@
+(* Funds transfer as a multi-transaction request (paper §6, fig. 6) with
+   saga cancellation (§7).
+
+   The transfer runs as three chained transactions on three sites:
+   debit at bankA, credit at bankB, log at the clearinghouse. We crash
+   bankB mid-stream to show the chain cannot be broken, then cancel a
+   completed transfer to show compensation running in reverse.
+
+   Run with: dune exec examples/funds_transfer.exe *)
+
+module Sched = Rrq_sim.Sched
+module Net = Rrq_net.Net
+module Rng = Rrq_util.Rng
+module Tm = Rrq_txn.Tm
+module Kvdb = Rrq_kvdb.Kvdb
+module Site = Rrq_core.Site
+module Clerk = Rrq_core.Clerk
+module Envelope = Rrq_core.Envelope
+module Pipeline = Rrq_core.Pipeline
+
+let amount = 250
+
+let balance site key =
+  match Kvdb.committed_value (Site.kv site) key with
+  | Some s -> int_of_string s
+  | None -> 0
+
+let () =
+  let sched = Sched.create () in
+  let net = Net.create sched (Rng.create 2) in
+  let bank_a = Site.create ~stale_timeout:2.0 (Net.make_node net "bankA") in
+  let bank_b = Site.create ~stale_timeout:2.0 (Net.make_node net "bankB") in
+  let clearing = Site.create ~stale_timeout:2.0 (Net.make_node net "clearing") in
+
+  let stage site ~q ~narrate ~work ~undo =
+    {
+      Pipeline.stage_site = site;
+      in_queue = q;
+      work =
+        (fun site txn env ->
+          Printf.printf "  [%s] t=%.2f %s for %s\n" q (Sched.clock ()) narrate
+            env.Envelope.rid;
+          work site txn env);
+      compensate =
+        Some
+          (fun site txn env ->
+            Printf.printf "  [%s] t=%.2f COMPENSATE %s\n" q (Sched.clock ())
+              env.Envelope.rid;
+            undo site txn env);
+    }
+  in
+  let pipeline =
+    Pipeline.install
+      [
+        stage bank_a ~q:"debit" ~narrate:"debit source account"
+          ~work:(fun site txn env ->
+            ignore (Kvdb.add (Site.kv site) (Tm.txn_id txn) "alice" (-amount));
+            (env.Envelope.body, "debited"))
+          ~undo:(fun site txn _ ->
+            ignore (Kvdb.add (Site.kv site) (Tm.txn_id txn) "alice" amount));
+        stage bank_b ~q:"credit" ~narrate:"credit target account"
+          ~work:(fun site txn env ->
+            ignore (Kvdb.add (Site.kv site) (Tm.txn_id txn) "bob" amount);
+            (env.Envelope.body, "credited"))
+          ~undo:(fun site txn _ ->
+            ignore (Kvdb.add (Site.kv site) (Tm.txn_id txn) "bob" (-amount)));
+        stage clearing ~q:"clear" ~narrate:"log with clearinghouse"
+          ~work:(fun site txn env ->
+            ignore (Kvdb.add (Site.kv site) (Tm.txn_id txn) "entries" 1);
+            ("transfer complete", env.Envelope.scratch))
+          ~undo:(fun site txn _ ->
+            ignore (Kvdb.add (Site.kv site) (Tm.txn_id txn) "entries" (-1)));
+      ]
+  in
+
+  Site.with_txn bank_a (fun txn ->
+      Kvdb.put (Site.kv bank_a) (Tm.txn_id txn) "alice" "1000");
+  let client_node = Net.make_node net "client" in
+
+  (* bankB goes down just as the transfers start flowing. *)
+  Sched.at sched 0.08 (fun () ->
+      print_endline "  [chaos] bankB crashes mid-chain!";
+      Site.crash_restart bank_b ~after:2.5);
+
+  let print_balances tag =
+    Printf.printf
+      "[%s] alice=%d bob=%d clearing-entries=%d (alice+bob=%d)\n" tag
+      (balance bank_a "alice") (balance bank_b "bob")
+      (balance clearing "entries")
+      (balance bank_a "alice" + balance bank_b "bob")
+  in
+
+  ignore
+    (Sched.spawn sched ~group:"client" ~name:"alice" (fun () ->
+         let clerk, _ =
+           Clerk.connect ~client_node ~system:(Pipeline.entry_site pipeline)
+             ~client_id:"alice"
+             ~req_queue:(Pipeline.entry_queue pipeline) ()
+         in
+         print_balances "before";
+         for i = 1 to 2 do
+           let rid = Printf.sprintf "xfer-%d" i in
+           Printf.printf "[client] t=%.2f request %s: alice -> bob (%d)\n"
+             (Sched.clock ()) rid amount;
+           ignore (Clerk.send clerk ~rid "transfer");
+           let rec get () =
+             match Clerk.receive clerk ~timeout:5.0 () with
+             | Some r -> r
+             | None ->
+               print_endline "[client] ... waiting (a bank may be down)";
+               get ()
+           in
+           let reply = get () in
+           Printf.printf "[client] t=%.2f reply for %s: %S\n" (Sched.clock ())
+             reply.Envelope.rid reply.Envelope.body
+         done;
+         print_balances "after 2 transfers";
+
+         (* Alice regrets transfer 2: too late to Kill_element (it already
+            committed everywhere), so the saga compensates it. *)
+         print_endline "[client] cancelling xfer-2 (runs compensations in reverse)";
+         let cancel_clerk, _ =
+           Clerk.connect ~client_node ~system:(Pipeline.cancel_site pipeline)
+             ~client_id:"alice-cancel"
+             ~req_queue:(Pipeline.cancel_queue pipeline) ()
+         in
+         (match Clerk.transceive cancel_clerk ~rid:"cancel-1" "xfer-2" with
+         | Some reply ->
+           Printf.printf "[client] cancel reply: %S\n" reply.Envelope.body
+         | None -> print_endline "[client] cancel reply missing!");
+         print_balances "after cancellation"));
+
+  Sched.run sched;
+  match Sched.failures sched with
+  | [] -> print_endline "funds_transfer: OK"
+  | (name, e) :: _ ->
+    Printf.printf "funds_transfer: FIBER FAILURE %s: %s\n" name
+      (Printexc.to_string e);
+    exit 1

@@ -1,0 +1,34 @@
+module Net = Rrq_net.Net
+module Sched = Rrq_sim.Sched
+module Site = Rrq_core.Site
+module Kvdb = Rrq_kvdb.Kvdb
+module Tm = Rrq_txn.Tm
+
+type Net.payload +=
+  | H_request of { keys : string list; delta : int; hold : float }
+  | H_done
+
+let install_server site ~service =
+  Site.on_boot site (fun site ->
+      Net.add_service (Site.node site) service (fun msg ->
+          match msg with
+          | H_request { keys; delta; hold } ->
+            Site.with_txn site (fun txn ->
+                let id = Tm.txn_id txn in
+                List.iter
+                  (fun k -> ignore (Kvdb.add (Site.kv site) id k delta))
+                  keys;
+                (* Locks stay held while the "client" receives and
+                   processes the reply. *)
+                Sched.sleep hold);
+            H_done
+          | _ -> raise (Invalid_argument "held-txn server: unexpected message")))
+
+let call client ~dst ~service ~keys ~delta ~hold =
+  match
+    Net.call client ~timeout:(hold +. 30.0) ~dst ~service
+      (H_request { keys; delta; hold })
+  with
+  | H_done -> true
+  | _ -> false
+  | exception (Net.Rpc_timeout | Net.Service_error _) -> false

@@ -1,0 +1,26 @@
+(** Baseline: the one-transaction client design of paper §2.
+
+    The client executes {v send request, receive reply, process reply v}
+    inside a single transaction, so database locks are held while the
+    reply travels to the client and while the user looks at it ("think
+    time"). The paper rejects this design because of the resource
+    contention it creates; experiment B2 measures that contention against
+    the queued three-transaction design.
+
+    The model: the server runs the request's database work and then keeps
+    the transaction open for the client's reply-processing time before
+    committing — equivalent lock-hold behavior without simulating the
+    client-side transaction plumbing. *)
+
+type Rrq_net.Net.payload +=
+  | H_request of { keys : string list; delta : int; hold : float }
+  | H_done
+
+val install_server : Rrq_core.Site.t -> service:string -> unit
+(** Handler: add [delta] to each integer key, then hold the transaction
+    open (locks included) for [hold] seconds before committing. *)
+
+val call :
+  Rrq_net.Net.node -> dst:string -> service:string -> keys:string list ->
+  delta:int -> hold:float -> bool
+(** One end-to-end one-transaction request; false on timeout/failure. *)

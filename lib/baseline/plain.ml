@@ -1,0 +1,38 @@
+module Net = Rrq_net.Net
+module Sched = Rrq_sim.Sched
+module Site = Rrq_core.Site
+
+type Net.payload +=
+  | P_request of { rid : string; body : string }
+  | P_reply of string
+
+let install_server site ~service handler =
+  Site.on_boot site (fun site ->
+      Net.add_service (Site.node site) service (fun msg ->
+          match msg with
+          | P_request { rid; body } ->
+            let reply =
+              Site.with_txn site (fun txn -> handler site txn ~rid body)
+            in
+            P_reply reply
+          | _ -> raise (Invalid_argument "plain server: unexpected message")))
+
+let call_at_most_once client ~dst ~service ~rid ?(timeout = 2.0) body =
+  match Net.call client ~timeout ~dst ~service (P_request { rid; body }) with
+  | P_reply r -> Some r
+  | _ -> None
+  | exception (Net.Rpc_timeout | Net.Service_error _) -> None
+
+let call_at_least_once client ~dst ~service ~rid ?(timeout = 2.0)
+    ?(attempts = 5) body =
+  let rec go n =
+    if n >= attempts then None
+    else begin
+      match call_at_most_once client ~dst ~service ~rid ~timeout body with
+      | Some r -> Some r
+      | None ->
+        Sched.sleep (0.5 *. timeout);
+        go (n + 1)
+    end
+  in
+  go 0

@@ -1,0 +1,33 @@
+(** Baseline: request/reply with ordinary messages and no queues
+    (paper §2's strawman).
+
+    The server still executes each request as a local transaction against
+    its database, but the {e flow} of requests and replies is bare RPC: an
+    untimely failure loses the request or the reply, and since the client
+    cannot tell which, retrying risks duplicate execution while not
+    retrying risks losing the request. The experiment harness counts
+    exactly these outcomes to quantify what the paper's queued protocol
+    buys (EXPERIMENTS.md, E1). *)
+
+type Rrq_net.Net.payload +=
+  | P_request of { rid : string; body : string }
+  | P_reply of string
+
+val install_server :
+  Rrq_core.Site.t -> service:string ->
+  (Rrq_core.Site.t -> Rrq_txn.Tm.txn -> rid:string -> string -> string) -> unit
+(** Serve [service] on the site: each request body is handled inside a
+    fresh local transaction (so the {e database} stays consistent — only
+    the request flow is unreliable). Re-installed on site reboot. *)
+
+val call_at_most_once :
+  Rrq_net.Net.node -> dst:string -> service:string -> rid:string ->
+  ?timeout:float -> string -> string option
+(** Fire the request once; [None] if no reply arrives (the request may or
+    may not have executed). *)
+
+val call_at_least_once :
+  Rrq_net.Net.node -> dst:string -> service:string -> rid:string ->
+  ?timeout:float -> ?attempts:int -> string -> string option
+(** Retry until a reply arrives or attempts run out. Each retry can
+    re-execute a request whose reply was lost: duplicates. *)

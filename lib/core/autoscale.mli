@@ -1,0 +1,25 @@
+(** Threshold-driven server scaling — the request-scheduling facet of
+    paper §9/§11 (CICS starts transaction-tasks "when elements arrive in
+    the queue"; "the server itself is subject to scheduling policy, which
+    determines ... how many instances (threads) it should run").
+
+    A minimum pool of permanent server threads runs as usual; when the
+    queue's alert threshold fires, surge threads are spawned up to the
+    maximum. A surge thread exits as soon as it finds the queue empty. *)
+
+type t
+
+val install :
+  Site.t -> req_queue:string -> min_threads:int -> max_threads:int ->
+  scale_at:int -> Server.handler -> t
+(** The queue must have been created with [alert_threshold = Some scale_at]
+    (this module re-creates it that way if it does not exist yet). *)
+
+val surge_spawned : t -> int
+(** Surge threads launched so far (across incarnations). *)
+
+val active_surge : t -> int
+(** Surge threads currently running. *)
+
+val processed : t -> int
+(** Requests committed by permanent and surge threads together. *)

@@ -1,0 +1,239 @@
+module Net = Rrq_net.Net
+module Sched = Rrq_sim.Sched
+
+type t = {
+  cnode : Net.node;
+  system : string;
+  client_id : string;
+  req_queue : string;
+  reply_q : string;
+  rpc_timeout : float;
+  retries : int;
+  strict : bool;
+  mutable fsm : Client_fsm.state;
+  mutable last_rid : string option;
+  mutable last_eid : int64 option;
+}
+
+type connect_info = {
+  s_rid : string option;
+  r_rid : string option;
+  ckpt : string option;
+}
+
+exception Unavailable of string
+exception Protocol_violation of string
+
+(* Track (and under [strict], enforce) the fig. 1/7 state machine. *)
+let transition t event =
+  match Client_fsm.step t.fsm event with
+  | Some next -> t.fsm <- next
+  | None ->
+    if t.strict then
+      raise
+        (Protocol_violation
+           (Printf.sprintf "%s is illegal in state %s"
+              (Client_fsm.event_to_string event)
+              (Client_fsm.state_to_string t.fsm)))
+
+let rpc ?(extra_timeout = 0.0) t msg =
+  let rec go attempts_left =
+    match
+      Net.call t.cnode
+        ~timeout:(t.rpc_timeout +. extra_timeout)
+        ~dst:t.system ~service:"qm" msg
+    with
+    | v -> v
+    | exception (Net.Rpc_timeout | Net.Service_error _) ->
+      if attempts_left <= 0 then
+        raise (Unavailable (Printf.sprintf "system %s unreachable" t.system))
+      else begin
+        Sched.sleep (0.5 *. t.rpc_timeout);
+        go (attempts_left - 1)
+      end
+  in
+  go t.retries
+
+let do_connect t =
+  (match rpc t (Site.Q_create_queue t.reply_q) with
+  | Net.Ack -> ()
+  | _ -> raise (Unavailable "unexpected reply to create-queue"));
+  let s_rid, s_eid =
+    match
+      rpc t
+        (Site.Q_register
+           { queue = t.req_queue; registrant = t.client_id; stable = true })
+    with
+    | Site.R_registered { last_tag; last_eid; _ } ->
+      ((match last_tag with Some tag -> Tag.rid_piece tag | None -> None), last_eid)
+    | _ -> raise (Unavailable "unexpected reply to register")
+  in
+  let r_rid, ckpt =
+    match
+      rpc t
+        (Site.Q_register
+           { queue = t.reply_q; registrant = t.client_id; stable = true })
+    with
+    | Site.R_registered { last_tag = Some tag; _ } ->
+      (Tag.rid_piece tag, Tag.ckpt_piece tag)
+    | Site.R_registered { last_tag = None; _ } -> (None, None)
+    | _ -> raise (Unavailable "unexpected reply to register")
+  in
+  t.last_rid <- s_rid;
+  t.last_eid <- s_eid;
+  t.fsm <- Client_fsm.Disconnected;
+  transition t
+    (match (s_rid, r_rid) with
+    | None, _ -> Client_fsm.Connect_fresh
+    | Some s, Some r when s = r -> Client_fsm.Connect_reply_recvd
+    | Some _, _ -> Client_fsm.Connect_req_sent);
+  { s_rid; r_rid; ckpt }
+
+let connect ~client_node ~system ~client_id ~req_queue ?reply_queue
+    ?(rpc_timeout = 1.0) ?(retries = 10) ?(strict = false) () =
+  let t =
+    {
+      cnode = client_node;
+      system;
+      client_id;
+      req_queue;
+      reply_q =
+        (match reply_queue with Some q -> q | None -> "reply." ^ client_id);
+      rpc_timeout;
+      retries;
+      strict;
+      fsm = Client_fsm.Disconnected;
+      last_rid = None;
+      last_eid = None;
+    }
+  in
+  let info = do_connect t in
+  (t, info)
+
+let reconnect t = do_connect t
+
+let disconnect t =
+  transition t Client_fsm.Disconnect;
+  ignore
+    (rpc t (Site.Q_deregister { registrant = t.client_id; queue = t.req_queue }));
+  ignore
+    (rpc t (Site.Q_deregister { registrant = t.client_id; queue = t.reply_q }))
+
+let client_id t = t.client_id
+let reply_queue t = t.reply_q
+
+let envelope t ~rid ?kind ?scratch ?step ~body () =
+  Envelope.make ~rid ~client_id:t.client_id ~reply_node:t.system
+    ~reply_queue:t.reply_q ?kind ?scratch ?step body
+
+let send t ~rid ?(props = []) ?kind ?scratch ?step body =
+  (* Retrying the same Send is recovery, not a transition; an intermediate
+     input (step > 0) is the fig. 7 Send-intermediate edge. *)
+  if t.last_rid <> Some rid then
+    transition t
+      (match step with
+      | Some n when n > 0 -> Client_fsm.Send_intermediate
+      | _ -> Client_fsm.Send);
+  let env = envelope t ~rid ?kind ?scratch ?step ~body () in
+  match
+    rpc t
+      (Site.Q_enqueue
+         {
+           registrant = t.client_id;
+           queue = t.req_queue;
+           tag = Some (Tag.send ~rid);
+           props = Envelope.props env @ props;
+           priority = 0;
+           body = Envelope.to_string env;
+         })
+  with
+  | Site.R_eid eid ->
+    t.last_rid <- Some rid;
+    t.last_eid <- Some eid;
+    eid
+  | _ -> raise (Unavailable "unexpected reply to enqueue")
+
+let send_oneway t ~rid ?(props = []) body =
+  let env = envelope t ~rid ~body () in
+  t.last_rid <- Some rid;
+  t.last_eid <- None;
+  Net.cast t.cnode ~dst:t.system ~service:"qm"
+    (Site.Q_enqueue
+       {
+         registrant = t.client_id;
+         queue = t.req_queue;
+         tag = Some (Tag.send ~rid);
+         props = Envelope.props env @ props;
+         priority = 0;
+         body = Envelope.to_string env;
+       })
+
+let decode_view = function
+  | None -> None
+  | Some v -> Some (Envelope.of_string v.Site.v_payload)
+
+let receive t ?ckpt ?(timeout = 30.0) () =
+  match
+    rpc ~extra_timeout:timeout t
+      (Site.Q_dequeue
+         {
+           registrant = t.client_id;
+           queue = t.reply_q;
+           tag = Some (Tag.receive ~rid:t.last_rid ~ckpt);
+           filter = None;
+           timeout = Some timeout;
+         })
+  with
+  | Site.R_element v ->
+    let reply = decode_view v in
+    (match reply with
+    | Some r when r.Envelope.kind = "intermediate" ->
+      transition t Client_fsm.Receive_intermediate
+    | Some _ -> transition t Client_fsm.Receive_reply
+    | None -> () (* timeout: no transition; the client will retry *));
+    reply
+  | _ -> raise (Unavailable "unexpected reply to dequeue")
+
+let rereceive t =
+  transition t Client_fsm.Rereceive;
+  match
+    rpc t (Site.Q_read_last { registrant = t.client_id; queue = t.reply_q })
+  with
+  | Site.R_element v -> decode_view v
+  | _ -> raise (Unavailable "unexpected reply to read-last")
+
+let transceive t ~rid ?props ?ckpt ?timeout body =
+  ignore (send t ~rid ?props body);
+  receive t ?ckpt ?timeout ()
+
+let cancel_last_request t =
+  match t.last_eid with
+  | None -> false
+  | Some eid -> begin
+    match rpc t (Site.Q_kill eid) with
+    | Site.R_bool b ->
+      (* A successful cancel closes the request: the client may Send anew. *)
+      if b && t.fsm = Client_fsm.Req_sent then t.fsm <- Client_fsm.Reply_recvd;
+      b
+    | _ -> false
+  end
+
+let cancel_request_anywhere t ~sites ~rid =
+  let filter =
+    Rrq_qm.Filter.And
+      (Rrq_qm.Filter.Prop_eq ("client", t.client_id),
+       Rrq_qm.Filter.Prop_eq ("rid", rid))
+  in
+  List.exists
+    (fun site ->
+      match
+        Net.call t.cnode ~timeout:t.rpc_timeout ~dst:site ~service:"qm"
+          (Site.Q_kill_where filter)
+      with
+      | Site.R_int n -> n > 0
+      | _ -> false
+      | exception (Net.Rpc_timeout | Net.Service_error _) -> false)
+    sites
+
+let last_sent_eid t = t.last_eid
+let state t = t.fsm

@@ -1,0 +1,77 @@
+type state =
+  | Disconnected
+  | Connected
+  | Req_sent
+  | Reply_recvd
+  | Intermediate_io
+
+type event =
+  | Connect_fresh
+  | Connect_req_sent
+  | Connect_reply_recvd
+  | Send
+  | Receive_reply
+  | Rereceive
+  | Receive_intermediate
+  | Send_intermediate
+  | Disconnect
+
+let step state event =
+  match (state, event) with
+  | Disconnected, Connect_fresh -> Some Connected
+  | Disconnected, Connect_req_sent -> Some Req_sent
+  | Disconnected, Connect_reply_recvd -> Some Reply_recvd
+  | Connected, Send -> Some Req_sent
+  | Connected, Disconnect -> Some Disconnected
+  | Req_sent, Receive_reply -> Some Reply_recvd
+  | Req_sent, Receive_intermediate -> Some Intermediate_io
+  | Intermediate_io, Send_intermediate -> Some Req_sent
+  | Reply_recvd, Rereceive -> Some Reply_recvd
+  | Reply_recvd, Send -> Some Req_sent
+  | Reply_recvd, Disconnect -> Some Disconnected
+  | ( ( Disconnected | Connected | Req_sent | Reply_recvd | Intermediate_io ),
+      ( Connect_fresh | Connect_req_sent | Connect_reply_recvd | Send
+      | Receive_reply | Rereceive | Receive_intermediate | Send_intermediate
+      | Disconnect ) ) ->
+    None
+
+let initial = Disconnected
+
+let all_events =
+  [
+    Connect_fresh;
+    Connect_req_sent;
+    Connect_reply_recvd;
+    Send;
+    Receive_reply;
+    Rereceive;
+    Receive_intermediate;
+    Send_intermediate;
+    Disconnect;
+  ]
+
+let legal_events state =
+  List.filter (fun e -> step state e <> None) all_events
+
+let state_to_string = function
+  | Disconnected -> "Disconnected"
+  | Connected -> "Connected"
+  | Req_sent -> "Req-Sent"
+  | Reply_recvd -> "Reply-Recvd"
+  | Intermediate_io -> "Intermediate-I/O"
+
+let event_to_string = function
+  | Connect_fresh -> "Connect(fresh)"
+  | Connect_req_sent -> "Connect(req-sent)"
+  | Connect_reply_recvd -> "Connect(reply-recvd)"
+  | Send -> "Send"
+  | Receive_reply -> "Receive"
+  | Rereceive -> "Rereceive"
+  | Receive_intermediate -> "Receive-intermediate"
+  | Send_intermediate -> "Send-intermediate"
+  | Disconnect -> "Disconnect"
+
+let run events =
+  List.fold_left
+    (fun acc e -> match acc with None -> None | Some s -> step s e)
+    (Some initial) events

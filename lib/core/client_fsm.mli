@@ -1,0 +1,46 @@
+(** The client's state-transition diagrams (paper figs. 1 and 7).
+
+    Figure 1 (non-interactive): Disconnected → Connected →
+    {Req_sent ↔ Reply_recvd} → Disconnected, where Connect branches into
+    Req_sent or Reply_recvd according to the rids it returns.
+
+    Figure 7 (interactive) adds Intermediate_io: after sending a request
+    the client may cycle Req_sent → Intermediate_io (receive intermediate
+    output) → Req_sent (send intermediate input) before the final reply.
+
+    The clerk-level code uses this machine to document and test legal
+    operation orders; {!step} is a pure function so properties are easy to
+    check. *)
+
+type state =
+  | Disconnected
+  | Connected  (** Between Connect and the first Send/Receive decision. *)
+  | Req_sent
+  | Reply_recvd
+  | Intermediate_io  (** Interactive requests only (fig. 7). *)
+
+type event =
+  | Connect_fresh  (** Connect returning no prior rids. *)
+  | Connect_req_sent  (** Connect indicating an outstanding request. *)
+  | Connect_reply_recvd  (** Connect indicating the last reply was taken. *)
+  | Send
+  | Receive_reply
+  | Rereceive
+  | Receive_intermediate  (** Interactive: intermediate output arrives. *)
+  | Send_intermediate  (** Interactive: supply intermediate input. *)
+  | Disconnect
+
+val step : state -> event -> state option
+(** The legal transition, or [None] if the event is illegal in the state. *)
+
+val initial : state
+
+val legal_events : state -> event list
+(** All events with a defined transition from the state. *)
+
+val state_to_string : state -> string
+val event_to_string : event -> string
+
+val run : event list -> state option
+(** Fold a whole event trace from {!initial}; [None] as soon as any step
+    is illegal. *)

@@ -1,0 +1,41 @@
+(** The request/reply data structure exchanged through queues (paper §2:
+    "a request is a data structure that describes some work").
+
+    An envelope rides as a queue element's payload. It names the client and
+    its private reply queue (the multiple-clients extension of §5), carries
+    the request id the whole protocol revolves around, a handler-dispatch
+    kind, the application body, and two fields for multi-transaction
+    requests (§6): the IMS-style scratch pad that carries state from one
+    transaction of a chain to the next, and the step number. *)
+
+type t = {
+  rid : string;  (** Client-chosen request id. *)
+  client_id : string;
+  reply_node : string;  (** Node hosting the client's reply queue. *)
+  reply_queue : string;
+  kind : string;  (** Request type (dispatch / content-based filters). *)
+  body : string;
+  scratch : string;  (** State passed between chained transactions (§6). *)
+  step : int;  (** Position in a multi-transaction pipeline. *)
+}
+
+val make :
+  rid:string -> client_id:string -> reply_node:string -> reply_queue:string ->
+  ?kind:string -> ?scratch:string -> ?step:int -> string -> t
+(** Envelope with the given body; [kind] defaults to ["request"]. *)
+
+val reply_to : t -> body:string -> t
+(** The reply envelope for a request: same rid/client, kind ["reply"]. *)
+
+val with_body : t -> body:string -> scratch:string -> t
+(** Next-step envelope for pipelines: bumps [step]. *)
+
+val to_string : t -> string
+(** Serialize for use as an element payload. *)
+
+val of_string : string -> t
+(** @raise Rrq_util.Codec.Decode_error on malformed payloads. *)
+
+val props : t -> (string * string) list
+(** Standard element properties ([rid], [kind], [client]) so filters and
+    triggers can see envelope fields without decoding payloads. *)

@@ -1,0 +1,135 @@
+module Net = Rrq_net.Net
+module Wal = Rrq_wal.Wal
+module Codec = Rrq_util.Codec
+module Tm = Rrq_txn.Tm
+
+(* ---- pseudo-conversational (8.2) ------------------------------------- *)
+
+type turn = Intermediate of { output : string; scratch : string } | Final of string
+
+let pseudo_server site ~req_queue ?threads handler =
+  Server.start site ~req_queue ?threads ~name:("conv:" ^ req_queue)
+    (fun site txn env ->
+      match handler site txn env with
+      | Final body -> Server.Reply body
+      | Intermediate { output; scratch } ->
+        Server.Reply_env
+          {
+            (Envelope.reply_to env ~body:output) with
+            Envelope.kind = "intermediate";
+            scratch;
+            step = env.Envelope.step + 1;
+          })
+
+let pseudo_client clerk ~rid ~body ~respond ?(max_turns = 100) () =
+  ignore (Clerk.send clerk ~rid body);
+  let rec turn i =
+    if i > max_turns then None
+    else begin
+      match Clerk.receive clerk () with
+      | None -> turn i (* keep waiting for this leg's output *)
+      | Some r when r.Envelope.kind = "intermediate" ->
+        let input = respond ~step:r.Envelope.step ~output:r.Envelope.body in
+        ignore
+          (Clerk.send clerk
+             ~rid:(Printf.sprintf "%s/%d" rid r.Envelope.step)
+             ~scratch:r.Envelope.scratch ~step:r.Envelope.step input);
+        turn (i + 1)
+      | Some final -> Some final
+    end
+  in
+  turn 0
+
+(* ---- single-transaction conversations (8.3) --------------------------- *)
+
+type Net.payload +=
+  | D_ask of { rid : string; seq : int; prompt : string }
+  | D_input of string
+
+(* The client's durable intermediate-I/O log: (rid, seq, prompt, input)
+   tuples, replayed to answer repeated prompts after a server-side abort
+   and re-execution. *)
+type display_state = {
+  wal : Wal.t;
+  entries : (string * int, string * string) Hashtbl.t; (* (rid,seq) -> (prompt,input) *)
+  mutable fresh_asks : int;
+}
+
+let display_states : (string, display_state) Hashtbl.t = Hashtbl.create 4
+
+let encode_entry rid seq prompt input =
+  let e = Codec.encoder () in
+  Codec.string e rid;
+  Codec.int e seq;
+  Codec.string e prompt;
+  Codec.string e input;
+  Codec.to_string e
+
+let decode_entry payload =
+  let d = Codec.decoder payload in
+  let rid = Codec.get_string d in
+  let seq = Codec.get_int d in
+  let prompt = Codec.get_string d in
+  let input = Codec.get_string d in
+  (rid, seq, prompt, input)
+
+let install_display node ~user =
+  let wal, recovered = Wal.open_log (Net.disk node) ~name:"display" in
+  let entries = Hashtbl.create 32 in
+  List.iter
+    (fun payload ->
+      let rid, seq, prompt, input = decode_entry payload in
+      Hashtbl.replace entries (rid, seq) (prompt, input))
+    recovered.Wal.records;
+  let st = { wal; entries; fresh_asks = 0 } in
+  Hashtbl.replace display_states (Net.node_name node) st;
+  Net.add_service node "display" (fun msg ->
+      match msg with
+      | D_ask { rid; seq; prompt } -> begin
+        match Hashtbl.find_opt st.entries (rid, seq) with
+        | Some (logged_prompt, input) when logged_prompt = prompt ->
+          D_input input (* replay: the user never sees the prompt again *)
+        | found ->
+          (* Divergence (or first time): the rest of the old conversation
+             no longer applies — drop it and solicit fresh input. *)
+          (match found with
+          | Some _ ->
+            Hashtbl.iter
+              (fun (r, sq) _ ->
+                if r = rid && sq >= seq then Hashtbl.remove st.entries (r, sq))
+              (Hashtbl.copy st.entries)
+          | None -> ());
+          st.fresh_asks <- st.fresh_asks + 1;
+          let input = user ~rid ~seq ~prompt in
+          Hashtbl.replace st.entries (rid, seq) (prompt, input);
+          Wal.append_sync st.wal (encode_entry rid seq prompt input);
+          D_input input
+      end
+      | _ -> raise (Invalid_argument "display service: unexpected message"))
+
+let display_asks node =
+  match Hashtbl.find_opt display_states (Net.node_name node) with
+  | Some st -> st.fresh_asks
+  | None -> 0
+
+type console = {
+  c_site : Site.t;
+  c_rid : string;
+  c_display : string;
+  mutable seq : int;
+}
+
+let console site env ~display =
+  { c_site = site; c_rid = env.Envelope.rid; c_display = display; seq = 0 }
+
+let ask c prompt =
+  c.seq <- c.seq + 1;
+  match
+    Net.call (Site.node c.c_site) ~timeout:5.0 ~dst:c.c_display
+      ~service:"display"
+      (D_ask { rid = c.c_rid; seq = c.seq; prompt })
+  with
+  | D_input s -> s
+  | _ -> failwith "display: unexpected reply"
+  | exception (Net.Rpc_timeout | Net.Service_error _) ->
+    failwith "intermediate input unavailable"

@@ -1,0 +1,66 @@
+(** Multi-transaction requests (paper §6, fig. 6) with saga-style
+    cancellation (§7).
+
+    A request executes as a chain of transactions, one per stage: stage i's
+    server dequeues from its input queue, does its work against its site's
+    database, and enqueues the request (with an updated scratch pad) into
+    stage i+1's input queue — remotely if the next stage lives on another
+    site. The final stage enqueues the reply to the client. A crash at any
+    point aborts exactly one stage-transaction, whose input element
+    reappears; the chain cannot be broken (§6).
+
+    Each stage durably marks its completion for the request
+    (["saga:" rid ":" step] in its site's KV store, written inside the
+    stage transaction) and stores the envelope it processed. Cancellation
+    runs as a {e serial multi-transaction request in reverse} (§7): a
+    cancel request enters the last stage's compensation queue; each
+    compensation server undoes its stage iff the mark is present, erases
+    the mark, forwards the cancel to the previous stage, and the first
+    stage replies "cancelled" to the client. A cancel racing the request
+    itself is safe: every stage checks a durable cancel flag before
+    executing, so each stage either executed-then-compensated or never
+    executed.
+
+    Optional lock inheritance ([inherit_locks], single-site chains only)
+    makes the whole request serializable by handing each stage's KV locks
+    to a per-request owner that the next stage takes them from (§6);
+    inherited locks are volatile across crashes, as the paper concedes. *)
+
+type stage = {
+  stage_site : Site.t;
+  in_queue : string;
+  work : Site.t -> Rrq_txn.Tm.txn -> Envelope.t -> string * string;
+      (** Returns (body, scratch) for the next stage — or for the reply if
+          this is the last stage (its body). Raise to abort and retry. *)
+  compensate :
+    (Site.t -> Rrq_txn.Tm.txn -> Envelope.t -> unit) option;
+      (** Undo this stage given the envelope it processed (sagas, §7). *)
+}
+
+type t
+
+val install : ?threads:int -> ?inherit_locks:bool -> stage list -> t
+(** Start one server per stage (re-started with their sites). The stage
+    list must be non-empty; with [inherit_locks] all stages must share one
+    site. *)
+
+val entry_queue : t -> string
+(** The first stage's input queue (where clients send). *)
+
+val entry_site : t -> string
+(** Name of the site hosting the first stage. *)
+
+val cancel_queue : t -> string
+(** Queue on the {e last} stage's site where cancel requests enter. *)
+
+val cancel_site : t -> string
+
+val comp_queue_name : string -> string
+(** ["comp." ^ queue] — the compensation queue paired with a stage input
+    queue. *)
+
+val executed_mark : rid:string -> step:int -> string
+(** KV key a stage writes when it commits for a request (test hook). *)
+
+val cancelled_flag : rid:string -> string
+(** KV key of the durable per-site cancel flag (test hook). *)

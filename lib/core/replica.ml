@@ -1,0 +1,113 @@
+module Tm = Rrq_txn.Tm
+module Txid = Rrq_txn.Txid
+module Qm = Rrq_qm.Qm
+module Element = Rrq_qm.Element
+module Filter = Rrq_qm.Filter
+
+type t = {
+  queue : string;
+  mutable prim : Site.t;
+  mutable back : Site.t;
+  mutable next_rep : int;
+  mutable degraded : bool;
+}
+
+exception Degraded of string
+
+let create ~primary ~backup ~queue =
+  Qm.create_queue (Site.qm primary) queue;
+  Qm.create_queue (Site.qm backup) queue;
+  { queue; prim = primary; back = backup; next_rep = 0; degraded = false }
+
+let queue_name t = t.queue
+let primary t = t.prim
+let backup t = t.back
+
+let local_handle site queue =
+  fst (Qm.register (Site.qm site) ~queue ~registrant:("replica@" ^ queue) ~stable:false)
+
+let fresh_rep t =
+  t.next_rep <- t.next_rep + 1;
+  Printf.sprintf "%s#%s#%d" t.queue (Site.site_name t.prim) t.next_rep
+
+let enqueue t txn ?(props = []) ?(priority = 0) body =
+  let rep = fresh_rep t in
+  let props = ("rep", rep) :: props in
+  let h = local_handle t.prim t.queue in
+  ignore (Qm.enqueue (Site.qm t.prim) (Tm.txn_id txn) h ~props ~priority body);
+  if not t.degraded then begin
+    try
+      Site.remote_enqueue t.prim txn ~dst:(Site.site_name t.back) ~queue:t.queue
+        ~props ~priority body
+    with Site.Aborted m -> raise (Degraded ("backup enqueue: " ^ m))
+  end;
+  rep
+
+let dequeue t txn =
+  let h = local_handle t.prim t.queue in
+  match Qm.dequeue (Site.qm t.prim) (Tm.txn_id txn) h Qm.No_wait with
+  | None -> None
+  | Some el ->
+    let rep =
+      match Element.prop el "rep" with
+      | Some r -> r
+      | None -> raise (Degraded "element lacks a replication id")
+    in
+    (* Mirror the dequeue on the backup copy, matched by rep id. *)
+    if not t.degraded then begin
+      match
+        Site.remote_dequeue t.prim txn ~dst:(Site.site_name t.back)
+          ~queue:t.queue ~filter:(Filter.Prop_eq ("rep", rep))
+      with
+      | Some _ -> ()
+      | None -> raise (Degraded ("backup copy missing element " ^ rep))
+      | exception Site.Aborted m -> raise (Degraded ("backup dequeue: " ^ m))
+    end;
+    Some (rep, el.Element.payload)
+
+let depths t =
+  (Qm.depth (Site.qm t.prim) t.queue, Qm.depth (Site.qm t.back) t.queue)
+
+let rep_ids site ~queue =
+  Qm.elements (Site.qm site) queue
+  |> List.filter_map (fun el -> Element.prop el "rep")
+  |> List.sort compare
+
+let promote t =
+  let p = t.prim in
+  t.prim <- t.back;
+  t.back <- p
+
+let set_degraded t flag = t.degraded <- flag
+let is_degraded t = t.degraded
+
+(* The current primary is authoritative: the backup either missed
+   operations while it was down, or (having been the failed primary) kept
+   elements the survivor has since consumed. *)
+let resync t =
+  let authoritative = rep_ids t.prim ~queue:t.queue in
+  let qm_b = Site.qm t.back in
+  let h_b = local_handle t.back t.queue in
+  ignore h_b;
+  (* Delete from the backup what the primary no longer has. *)
+  List.iter
+    (fun el ->
+      match Element.prop el "rep" with
+      | Some rep when not (List.mem rep authoritative) ->
+        ignore (Qm.kill_element qm_b el.Element.eid)
+      | Some _ -> ()
+      | None -> ignore (Qm.kill_element qm_b el.Element.eid))
+    (Qm.elements qm_b t.queue);
+  (* Copy to the backup what it is missing. *)
+  let backup_now = rep_ids t.back ~queue:t.queue in
+  List.iter
+    (fun el ->
+      match Element.prop el "rep" with
+      | Some rep when not (List.mem rep backup_now) ->
+        let h = local_handle t.back t.queue in
+        ignore
+          (Qm.auto_commit qm_b (fun id ->
+               Qm.enqueue qm_b id h ~props:el.Element.props
+                 ~priority:el.Element.priority el.Element.payload))
+      | Some _ | None -> ())
+    (Qm.elements (Site.qm t.prim) t.queue)

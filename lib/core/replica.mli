@@ -1,0 +1,69 @@
+(** Replicated queues (paper §11).
+
+    "Given the importance of reliably managing requests in a distributed
+    system, queues are a good candidate for being stored as a replicated
+    database that guarantees one-copy serializability, despite the cost of
+    such strong synchronization."
+
+    A replicated queue keeps two physical copies, one on each of two
+    sites. Every operation runs on {e both} copies inside one transaction
+    (two-phase commit), so the copies commit and abort together: readers of
+    either copy see the one-copy history, and the queue survives the loss
+    of either site. The cost the paper anticipates is real and measurable:
+    every operation pays a cross-site round trip and a 2PC.
+
+    Elements are matched across copies by a replication id carried as the
+    ["rep"] element property (physical eids differ per copy).
+
+    Availability model: while either copy is down, operations abort
+    (consistency over availability). Failing over is explicit: {!promote}
+    makes the surviving copy primary; when the failed site returns,
+    {!resync} reconciles it against the authoritative copy (the survivor
+    was the only writer in between), after which operations are fully
+    replicated again. *)
+
+type t
+
+val create : primary:Site.t -> backup:Site.t -> queue:string -> t
+(** Create the queue on both sites (durable DDL, idempotent). *)
+
+val queue_name : t -> string
+val primary : t -> Site.t
+val backup : t -> Site.t
+
+exception Degraded of string
+(** Raised by operations when the peer copy cannot participate. The
+    enclosing transaction must abort; nothing happened on either copy. *)
+
+val enqueue :
+  t -> Rrq_txn.Tm.txn -> ?props:(string * string) list -> ?priority:int ->
+  string -> string
+(** Enqueue the payload into both copies within the transaction (which must
+    come from the current primary's TM). Returns the replication id. *)
+
+val dequeue : t -> Rrq_txn.Tm.txn -> (string * string) option
+(** Dequeue the next element from both copies within the transaction;
+    returns (replication id, payload). [None] when empty. *)
+
+val depths : t -> int * int
+(** (primary depth, backup depth) — equal whenever both sites are healthy
+    and no transaction is in flight. *)
+
+val rep_ids : Site.t -> queue:string -> string list
+(** The replication ids currently in a copy, sorted (audit helper). *)
+
+val promote : t -> unit
+(** Swap the primary and backup roles (after the primary failed). *)
+
+val set_degraded : t -> bool -> unit
+(** In degraded mode operations apply to the primary copy only — the
+    failover stance while the peer is down. Leave degraded mode only after
+    {!resync}. *)
+
+val is_degraded : t -> bool
+
+val resync : t -> unit
+(** Reconcile the (recovered) backup copy against the current primary:
+    delete elements the primary no longer has, copy over elements it
+    gained. Call when both sites are up; afterwards the copies are
+    identical. *)

@@ -1,0 +1,98 @@
+type outcome = {
+  sent : string list;
+  processed : string list;
+  resynced : [ `None | `Received_pending | `Reprocessed | `Already_processed ];
+}
+
+type config = {
+  next_request : int -> (string * string) option;
+  process_reply : Envelope.t -> unit;
+  device_state : unit -> string;
+  resume_seq : unit -> int;
+  receive_timeout : float;
+  max_receive_attempts : int;
+}
+
+let default_config =
+  {
+    next_request = (fun _ -> None);
+    process_reply = (fun _ -> ());
+    device_state = (fun () -> "");
+    resume_seq = (fun () -> 1);
+    receive_timeout = 10.0;
+    max_receive_attempts = 30;
+  }
+
+exception Stuck of string
+
+let rid_of_seq n = Printf.sprintf "r%d" n
+
+let seq_of_rid rid =
+  if String.length rid > 1 && rid.[0] = 'r' then
+    int_of_string_opt (String.sub rid 1 (String.length rid - 1))
+  else None
+
+let receive_until clerk config ~ckpt =
+  let rec go attempts =
+    if attempts >= config.max_receive_attempts then
+      raise (Stuck "no reply within the attempt budget");
+    match Clerk.receive clerk ~ckpt ~timeout:config.receive_timeout () with
+    | Some reply -> reply
+    | None -> go (attempts + 1)
+  in
+  go 0
+
+let run clerk config =
+  let info = Clerk.reconnect clerk in
+  let processed = ref [] in
+  let sent = ref [] in
+  (* Connect-time resynchronization: the two conditionals of fig. 2. *)
+  let resynced =
+    match (info.Clerk.s_rid, info.Clerk.r_rid) with
+    | Some s, r when r <> Some s ->
+      (* The last request is still in flight: its reply must be received
+         and processed before new work. *)
+      let reply = receive_until clerk config ~ckpt:(config.device_state ()) in
+      config.process_reply reply;
+      processed := [ s ];
+      `Received_pending
+    | Some s, Some r when s = r ->
+      (* The reply was already dequeued. The testable device tells whether
+         it was also processed: if the device state still equals the
+         checkpoint stored with that Receive, processing never happened. *)
+      if info.Clerk.ckpt = Some (config.device_state ()) then begin
+        match Clerk.rereceive clerk with
+        | Some reply ->
+          config.process_reply reply;
+          processed := [ s ];
+          `Reprocessed
+        | None -> raise (Stuck "retained reply copy missing")
+      end
+      else `Already_processed
+    | _ -> `None
+  in
+  (* Resume the deterministic work list after the last completed request. *)
+  let start_seq =
+    let from_session =
+      match info.Clerk.s_rid with
+      | Some s -> ( match seq_of_rid s with Some n -> n + 1 | None -> 1)
+      | None -> 1
+    in
+    (* The user's own durable knowledge (e.g. tickets already printed)
+       covers the window after Disconnect destroys the session state. *)
+    max from_session (config.resume_seq ())
+  in
+  let rec work seq =
+    match config.next_request seq with
+    | None -> ()
+    | Some (rid, body) ->
+      ignore (Clerk.send clerk ~rid body);
+      sent := rid :: !sent;
+      let reply = receive_until clerk config ~ckpt:(config.device_state ()) in
+      config.process_reply reply;
+      processed := rid :: !processed;
+      work (seq + 1)
+  in
+  work start_seq;
+  Clerk.disconnect clerk;
+  { sent = List.rev !sent; processed = List.rev !processed; resynced }

@@ -1,0 +1,66 @@
+(** The fault-tolerant client program of paper fig. 2.
+
+    [run] executes, over a {!Clerk}, the exact structure of the figure:
+
+    {v
+    s-rid, r-rid, ckpt = Connect(client-id)
+    if s-rid <> NIL and s-rid <> r-rid       (request in flight)
+       { reply = Receive(ckpt); process }
+    if s-rid <> NIL and s-rid = r-rid        (reply taken, maybe unprocessed)
+       and client didn't process reply
+       { reply = Rereceive(); process }
+    while work to do
+       { construct request and s-rid; Send; reply = Receive(ckpt); process }
+    Disconnect
+    v}
+
+    The client is a fault-tolerant sequential program: it is {e not}
+    transactional; "process the reply" may drive a non-idempotent device.
+    The [device] callbacks model the paper's testable output device (§3):
+    [device_state] is checkpointed with each Receive, and comparing it with
+    the checkpoint returned by Connect decides whether the last reply was
+    already processed. *)
+
+type outcome = {
+  sent : string list;  (** rids sent in this incarnation. *)
+  processed : string list;  (** rids whose replies were processed here. *)
+  resynced : [ `None | `Received_pending | `Reprocessed | `Already_processed ];
+      (** Which fig. 2 recovery branch fired at connect time. *)
+}
+
+type config = {
+  next_request : int -> (string * string) option;
+      (** [next_request seq] returns the (rid, body) of the seq-th request,
+          or [None] when the client has no more work. Must be deterministic
+          across incarnations (the client re-derives where it left off). *)
+  process_reply : Envelope.t -> unit;
+      (** Deliver the reply to the user/device. Possibly non-idempotent. *)
+  device_state : unit -> string;
+      (** Current state of the output device (e.g. next ticket number),
+          checkpointed with every Receive. *)
+  resume_seq : unit -> int;
+      (** The first sequence number the {e user} does not know to be done,
+          derived from user-durable state such as the printed tickets
+          themselves. The paper's §11 point: after Disconnect the system
+          retains nothing, so only the user's own checkpoint can prevent a
+          restarted client from resubmitting finished work. Defaults to
+          [fun () -> 1]. *)
+  receive_timeout : float;
+  max_receive_attempts : int;
+}
+
+val default_config : config
+(** No work, no-op processing, constant device state, 10s timeouts. *)
+
+exception Stuck of string
+(** A reply could not be obtained within the attempt budget. *)
+
+val run : Clerk.t -> config -> outcome
+(** Connect, resynchronize, drain the work list, disconnect. Safe to run
+    again in a new incarnation after a crash at any point. *)
+
+val seq_of_rid : string -> int option
+(** Helper for [next_request] implementations that encode the sequence
+    number in the rid (["r<n>"] convention used by [rid_of_seq]). *)
+
+val rid_of_seq : int -> string

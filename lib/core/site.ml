@@ -1,0 +1,411 @@
+module Net = Rrq_net.Net
+module Sched = Rrq_sim.Sched
+module Tm = Rrq_txn.Tm
+module Txid = Rrq_txn.Txid
+module Lock = Rrq_txn.Lock
+module Qm = Rrq_qm.Qm
+module Element = Rrq_qm.Element
+module Filter = Rrq_qm.Filter
+module Kvdb = Rrq_kvdb.Kvdb
+
+type elem_view = {
+  v_eid : int64;
+  v_payload : string;
+  v_props : (string * string) list;
+  v_priority : int;
+  v_delivery_count : int;
+  v_abort_code : string option;
+}
+
+let view_of_element (el : Element.t) =
+  {
+    v_eid = el.Element.eid;
+    v_payload = el.Element.payload;
+    v_props = el.Element.props;
+    v_priority = el.Element.priority;
+    v_delivery_count = el.Element.delivery_count;
+    v_abort_code = el.Element.abort_code;
+  }
+
+type Net.payload +=
+  | Q_register of { queue : string; registrant : string; stable : bool }
+  | R_registered of {
+      last_kind : [ `Enqueue | `Dequeue ] option;
+      last_tag : string option;
+      last_eid : int64 option;
+    }
+  | Q_enqueue of {
+      registrant : string;
+      queue : string;
+      tag : string option;
+      props : (string * string) list;
+      priority : int;
+      body : string;
+    }
+  | R_eid of int64
+  | Q_dequeue of {
+      registrant : string;
+      queue : string;
+      tag : string option;
+      filter : Filter.t option;
+      timeout : float option;
+    }
+  | R_element of elem_view option
+  | Q_read_last of { registrant : string; queue : string }
+  | Q_kill of int64
+  | Q_kill_where of Filter.t
+  | R_int of int
+  | R_bool of bool
+  | Q_deregister of { registrant : string; queue : string }
+  | Q_create_queue of string
+  | Q_enqueue_tx of {
+      id : Txid.t;
+      queue : string;
+      props : (string * string) list;
+      priority : int;
+      body : string;
+    }
+  | Q_dequeue_tx of { id : Txid.t; queue : string; filter : Filter.t }
+  | T_decision of Txid.t
+  | R_decision of [ `Committed | `Aborted | `Pending ]
+  | T_force_abort of Txid.t
+  | RM_prepare of { rm : string; id : Txid.t; coordinator : string }
+  | RM_commit of { rm : string; id : Txid.t }
+  | RM_abort of { rm : string; id : Txid.t }
+  | RM_has_work of { rm : string; id : Txid.t }
+
+exception Aborted of string
+
+type t = {
+  site_node : Net.node;
+  mutable s_tm : Tm.t;
+  mutable s_qm : Qm.t;
+  mutable s_kv : Kvdb.t;
+  queues : (string * Qm.attrs) list;
+  triggers : Qm.trigger list;
+  checkpoint_every : int;
+  stale_timeout : float;
+  mutable extra_boot : (t -> unit) list; (* oldest first *)
+}
+
+let node t = t.site_node
+let site_name t = Net.node_name t.site_node
+let tm t = t.s_tm
+let qm t = t.s_qm
+let kv t = t.s_kv
+let qm_rm_name t = "qm@" ^ site_name t
+let kv_rm_name t = "kv@" ^ site_name t
+
+(* rm names are "kind@node"; the node part addresses the hosting site. *)
+let rm_node rm_name =
+  match String.index_opt rm_name '@' with
+  | Some i -> String.sub rm_name (i + 1) (String.length rm_name - i - 1)
+  | None -> rm_name
+
+let remote_participant t ~rm_name =
+  let dst = rm_node rm_name in
+  let rpc msg =
+    try Some (Net.call t.site_node ~dst ~service:"rm" msg)
+    with Net.Rpc_timeout | Net.Service_error _ -> None
+  in
+  {
+    Tm.part_name = rm_name;
+    p_prepare =
+      (fun id ~coordinator ->
+        match rpc (RM_prepare { rm = rm_name; id; coordinator }) with
+        | Some (R_bool b) -> b
+        | Some _ | None -> false);
+    p_commit =
+      (fun id ->
+        match rpc (RM_commit { rm = rm_name; id }) with
+        | Some (R_bool b) -> b
+        | Some _ | None -> false);
+    p_abort = (fun id -> ignore (rpc (RM_abort { rm = rm_name; id })));
+    p_one_phase = (fun _ -> false) (* never used: p_is_local is false *);
+    p_has_work = (fun _ -> true) (* only joined after a successful remote op *);
+    p_is_local = false;
+  }
+
+let local_participant t rm_name =
+  if rm_name = qm_rm_name t then Some (Qm.participant t.s_qm)
+  else if rm_name = kv_rm_name t then Some (Kvdb.participant t.s_kv)
+  else None
+
+(* ---- services -------------------------------------------------------- *)
+
+let clerk_service t msg =
+  let qm = t.s_qm in
+  match msg with
+  | Q_register { queue; registrant; stable } ->
+    let _, last = Qm.register qm ~queue ~registrant ~stable in
+    let last_kind = Option.map (fun l -> l.Qm.op_kind) last in
+    let last_tag = Option.map (fun l -> l.Qm.tag) last in
+    let last_eid = Option.map (fun l -> l.Qm.op_eid) last in
+    R_registered { last_kind; last_tag; last_eid }
+  | Q_enqueue { registrant; queue; tag; props; priority; body } ->
+    let h, last = Qm.register qm ~queue ~registrant ~stable:true in
+    let duplicate =
+      match (tag, last) with
+      | Some tg, Some l -> l.Qm.op_kind = `Enqueue && l.Qm.tag = tg
+      | _ -> false
+    in
+    (match (duplicate, last) with
+    | true, Some l -> R_eid l.Qm.op_eid
+    | _ ->
+      let eid =
+        Qm.auto_commit qm (fun id -> Qm.enqueue qm id h ?tag ~props ~priority body)
+      in
+      R_eid eid)
+  | Q_dequeue { registrant; queue; tag; filter; timeout } ->
+    let h, last = Qm.register qm ~queue ~registrant ~stable:true in
+    let duplicate =
+      match (tag, last) with
+      | Some tg, Some l ->
+        l.Qm.op_kind = `Dequeue
+        && Tag.rid_piece l.Qm.tag <> None
+        && Tag.rid_piece l.Qm.tag = Tag.rid_piece tg
+      | _ -> false
+    in
+    if duplicate then
+      R_element
+        (match last with
+        | Some l -> Option.map view_of_element l.Qm.element_copy
+        | None -> None)
+    else begin
+      let wait =
+        match timeout with None -> Qm.No_wait | Some d -> Qm.Timeout d
+      in
+      let el =
+        Qm.auto_commit qm (fun id -> Qm.dequeue qm id h ?tag ?filter wait)
+      in
+      R_element (Option.map view_of_element el)
+    end
+  | Q_read_last { registrant; queue } ->
+    let h, _ = Qm.register qm ~queue ~registrant ~stable:true in
+    R_element (Option.map view_of_element (Qm.read_last qm h))
+  | Q_kill eid -> R_bool (Qm.kill_element qm eid)
+  | Q_kill_where filter -> R_int (Qm.kill_where qm filter)
+  | Q_create_queue queue ->
+    Qm.create_queue qm queue;
+    Net.Ack
+  | Q_deregister { registrant; queue } ->
+    let h, _ = Qm.register qm ~queue ~registrant ~stable:true in
+    Qm.deregister qm h;
+    Net.Ack
+  | _ -> raise (Invalid_argument "qm service: unexpected message")
+
+let qm_tx_service t msg =
+  match msg with
+  | Q_enqueue_tx { id; queue; props; priority; body } ->
+    let qm = t.s_qm in
+    let h, _ =
+      Qm.register qm ~queue ~registrant:("pipeline@" ^ queue) ~stable:false
+    in
+    let eid = Qm.enqueue qm id h ~props ~priority body in
+    R_eid eid
+  | Q_dequeue_tx { id; queue; filter } ->
+    let qm = t.s_qm in
+    let h, _ =
+      Qm.register qm ~queue ~registrant:("pipeline@" ^ queue) ~stable:false
+    in
+    let el = Qm.dequeue qm id h ~filter Qm.No_wait in
+    R_element (Option.map view_of_element el)
+  | _ -> raise (Invalid_argument "qm-tx service: unexpected message")
+
+let rm_service t msg =
+  let find rm =
+    match local_participant t rm with
+    | Some p -> p
+    | None -> raise (Invalid_argument ("unknown rm " ^ rm))
+  in
+  match msg with
+  | RM_prepare { rm; id; coordinator } ->
+    R_bool ((find rm).Tm.p_prepare id ~coordinator)
+  | RM_commit { rm; id } -> R_bool ((find rm).Tm.p_commit id)
+  | RM_abort { rm; id } ->
+    (find rm).Tm.p_abort id;
+    Net.Ack
+  | RM_has_work { rm; id } -> R_bool ((find rm).Tm.p_has_work id)
+  | _ -> raise (Invalid_argument "rm service: unexpected message")
+
+let tm_service t msg =
+  match msg with
+  | T_decision id -> R_decision (Tm.decision t.s_tm id)
+  | T_force_abort id -> R_bool (Tm.force_abort t.s_tm id)
+  | _ -> raise (Invalid_argument "tm service: unexpected message")
+
+(* ---- daemons --------------------------------------------------------- *)
+
+(* Resolve recovered in-doubt transactions by asking their coordinators;
+   presumed abort when the coordinator has no record. *)
+let resolver_daemon t () =
+  let resolve_one (id, coord) ~commit ~abort =
+    match
+      Net.call t.site_node ~dst:coord ~service:"tm" (T_decision id)
+    with
+    | R_decision `Committed -> commit id
+    | R_decision `Aborted -> abort id
+    | R_decision `Pending | _ -> ()
+    | exception (Net.Rpc_timeout | Net.Service_error _) -> ()
+  in
+  let rec loop () =
+    let qm_doubt = Qm.in_doubt t.s_qm in
+    let kv_doubt = Kvdb.in_doubt t.s_kv in
+    if qm_doubt <> [] || kv_doubt <> [] then begin
+      List.iter
+        (fun entry ->
+          resolve_one entry
+            ~commit:(fun id -> ignore ((Qm.participant t.s_qm).Tm.p_commit id))
+            ~abort:(fun id -> (Qm.participant t.s_qm).Tm.p_abort id))
+        qm_doubt;
+      List.iter
+        (fun entry ->
+          resolve_one entry
+            ~commit:(fun id -> ignore ((Kvdb.participant t.s_kv).Tm.p_commit id))
+            ~abort:(fun id -> (Kvdb.participant t.s_kv).Tm.p_abort id))
+        kv_doubt;
+      Sched.sleep_background 1.0;
+      loop ()
+    end
+  in
+  loop ()
+
+let janitor_daemon t () =
+  let rec loop () =
+    Sched.sleep_background t.stale_timeout;
+    ignore (Qm.abort_stale t.s_qm ~older_than:t.stale_timeout);
+    Qm.maybe_checkpoint t.s_qm ~every:t.checkpoint_every;
+    Kvdb.maybe_checkpoint t.s_kv ~every:t.checkpoint_every;
+    loop ()
+  in
+  loop ()
+
+(* ---- boot ------------------------------------------------------------ *)
+
+let boot_site t nd =
+  let disk = Net.disk nd in
+  let name = Net.node_name nd in
+  let sched = Net.sched (Net.network nd) in
+  let tm = Tm.open_tm disk ~name in
+  let qm = Qm.open_qm ~triggers:t.triggers disk ~name:("qm@" ^ name) in
+  let kv = Kvdb.open_kv disk ~name:("kv@" ^ name) in
+  t.s_tm <- tm;
+  t.s_qm <- qm;
+  t.s_kv <- kv;
+  Qm.set_clock qm (fun () -> Sched.now sched);
+  List.iter (fun (qn, attrs) -> Qm.create_queue qm ~attrs qn) t.queues;
+  (* Kill-element must be able to abort the holding transaction, wherever
+     its coordinator lives (paper §7). *)
+  Qm.set_abort_callback qm (fun id ->
+      if id.Txid.origin = name then ignore (Tm.force_abort tm id)
+      else
+        try
+          ignore
+            (Net.call nd ~dst:id.Txid.origin ~service:"tm" (T_force_abort id))
+        with Net.Rpc_timeout | Net.Service_error _ -> ());
+  Tm.set_resolver tm (fun rm_name ->
+      match local_participant t rm_name with
+      | Some p -> Some p
+      | None -> Some (remote_participant t ~rm_name));
+  Net.add_service nd "qm" (clerk_service t);
+  Net.add_service nd "qm-tx" (qm_tx_service t);
+  Net.add_service nd "rm" (rm_service t);
+  Net.add_service nd "tm" (tm_service t);
+  Net.spawn_on nd ~name:(name ^ ":recovery") (fun () ->
+      Tm.recover_pending tm;
+      resolver_daemon t ());
+  Net.spawn_on nd ~name:(name ^ ":janitor") (janitor_daemon t);
+  List.iter (fun f -> f t) t.extra_boot
+
+let create ?(queues = []) ?(triggers = []) ?(checkpoint_every = 500)
+    ?(stale_timeout = 30.0) nd =
+  let disk = Net.disk nd in
+  let name = Net.node_name nd in
+  let t =
+    {
+      site_node = nd;
+      s_tm = Tm.open_tm disk ~name;
+      s_qm = Qm.open_qm disk ~name:("qm@" ^ name);
+      s_kv = Kvdb.open_kv disk ~name:("kv@" ^ name);
+      queues;
+      triggers;
+      checkpoint_every;
+      stale_timeout;
+      extra_boot = [];
+    }
+  in
+  (* The placeholder components above exist only to fill the record; boot
+     immediately replaces them with properly wired ones. *)
+  Net.set_boot nd (boot_site t);
+  Net.boot nd;
+  t
+
+let on_boot t f =
+  t.extra_boot <- t.extra_boot @ [ f ];
+  f t
+
+let crash t = Net.crash t.site_node
+let restart t = Net.restart t.site_node
+let crash_restart t ~after = Net.crash_restart t.site_node ~after
+
+(* ---- transactions ---------------------------------------------------- *)
+
+let with_txn t f =
+  let txn = Tm.begin_txn t.s_tm in
+  Tm.join txn (Qm.participant t.s_qm);
+  Tm.join txn (Kvdb.participant t.s_kv);
+  match f txn with
+  | v -> begin
+    match Tm.commit t.s_tm txn with
+    | Tm.Committed -> v
+    | Tm.Aborted -> raise (Aborted "commit refused")
+  end
+  | exception e ->
+    Tm.abort t.s_tm txn;
+    (match e with
+    | Qm.Conflict m -> raise (Aborted ("qm: " ^ m))
+    | Kvdb.Conflict m -> raise (Aborted ("kv: " ^ m))
+    | Lock.Deadlock m -> raise (Aborted ("deadlock: " ^ m))
+    | Lock.Cancelled -> raise (Aborted "cancelled")
+    | e -> raise e)
+
+let remote_dequeue t txn ~dst ~queue ~filter =
+  if dst = site_name t then begin
+    let h, _ =
+      Qm.register t.s_qm ~queue ~registrant:("pipeline@" ^ queue) ~stable:false
+    in
+    Option.map view_of_element
+      (Qm.dequeue t.s_qm (Tm.txn_id txn) h ~filter Qm.No_wait)
+  end
+  else begin
+    match
+      Net.call t.site_node ~dst ~service:"qm-tx"
+        (Q_dequeue_tx { id = Tm.txn_id txn; queue; filter })
+    with
+    | R_element v ->
+      if v <> None then Tm.join txn (remote_participant t ~rm_name:("qm@" ^ dst));
+      v
+    | _ -> raise (Aborted "remote dequeue: unexpected reply")
+    | exception (Net.Rpc_timeout | Net.Service_error _) ->
+      raise (Aborted ("remote dequeue from " ^ dst ^ " failed"))
+  end
+
+let remote_enqueue t txn ~dst ~queue ?(props = []) ?(priority = 0) body =
+  if dst = site_name t then begin
+    let h, _ =
+      Qm.register t.s_qm ~queue ~registrant:("pipeline@" ^ queue) ~stable:false
+    in
+    ignore (Qm.enqueue t.s_qm (Tm.txn_id txn) h ~props ~priority body)
+  end
+  else begin
+    match
+      Net.call t.site_node ~dst ~service:"qm-tx"
+        (Q_enqueue_tx { id = Tm.txn_id txn; queue; props; priority; body })
+    with
+    | R_eid _ -> Tm.join txn (remote_participant t ~rm_name:("qm@" ^ dst))
+    | _ -> raise (Aborted "remote enqueue: unexpected reply")
+    | exception (Net.Rpc_timeout | Net.Service_error _) ->
+      (* The remote may or may not hold the buffered op; if it does, its
+         janitor will abort the stale workspace. *)
+      raise (Aborted ("remote enqueue to " ^ dst ^ " failed"))
+  end

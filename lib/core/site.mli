@@ -1,0 +1,160 @@
+(** A site: one node hosting a transaction manager, a queue manager and a
+    KV store, wired together with the RPC services that make the paper's
+    System Model (fig. 4) work across nodes.
+
+    The site's boot procedure (run at creation and after every restart)
+    re-opens the three recoverable components from the node's disk,
+    re-creates the configured queues, re-registers services, and spawns the
+    recovery daemons:
+
+    - the TM's commit-redelivery fibers for logged-but-unacknowledged
+      decisions;
+    - an in-doubt resolver that asks each prepared transaction's
+      coordinator for its fate (presumed abort on no record);
+    - a janitor that unilaterally aborts stale unprepared workspaces (a
+      dequeuer whose node died must not pin its element forever) and takes
+      periodic checkpoints.
+
+    Services exposed to other nodes:
+    - ["qm"]: the clerk-facing queue operations (register, tagged
+      enqueue/dequeue with duplicate suppression via registration tags,
+      read-last, kill, deregister);
+    - ["qm-tx"]: transactional remote enqueue (a pipeline stage pushing to
+      the next site's queue inside its transaction);
+    - ["rm"]: two-phase-commit participation for this site's QM and KV;
+    - ["tm"]: coordinator decision queries and remote force-abort. *)
+
+type t
+
+val create :
+  ?queues:(string * Rrq_qm.Qm.attrs) list ->
+  ?triggers:Rrq_qm.Qm.trigger list ->
+  ?checkpoint_every:int ->
+  ?stale_timeout:float ->
+  Rrq_net.Net.node ->
+  t
+(** Configure the node's boot procedure and boot it now. [checkpoint_every]
+    (default 500 log records) and [stale_timeout] (default 30s of workspace
+    idleness) tune the janitor. *)
+
+val node : t -> Rrq_net.Net.node
+val site_name : t -> string
+val tm : t -> Rrq_txn.Tm.t
+val qm : t -> Rrq_qm.Qm.t
+val kv : t -> Rrq_kvdb.Kvdb.t
+(** Accessors return the {e current} incarnation's components — do not
+    cache them across a crash/restart. *)
+
+val qm_rm_name : t -> string
+val kv_rm_name : t -> string
+(** Globally-unique resource manager names ("qm\@node", "kv\@node"). *)
+
+val crash : t -> unit
+val restart : t -> unit
+val crash_restart : t -> after:float -> unit
+
+val on_boot : t -> (t -> unit) -> unit
+(** Register an additional boot step (e.g. starting a server on this site)
+    and run it immediately. Re-runs on every {!restart}, after the core
+    components are recovered. *)
+
+(** {1 Transactions} *)
+
+exception Aborted of string
+(** Raised by {!with_txn} when the transaction could not commit (deadlock,
+    forced abort, participant failure). The server loop treats it as "put
+    the request back and move on". *)
+
+val with_txn : t -> (Rrq_txn.Tm.txn -> 'a) -> 'a
+(** Run [f] in a fresh transaction and commit. The QM and KV of this site
+    are joined automatically; remote participants join via
+    {!remote_enqueue}. Aborts (and re-raises {!Aborted}) if [f] raises or
+    any participant refuses. *)
+
+val remote_enqueue :
+  t -> Rrq_txn.Tm.txn -> dst:string -> queue:string ->
+  ?props:(string * string) list -> ?priority:int -> string -> unit
+(** Enqueue into a queue on another site {e within} the given transaction:
+    the remote QM buffers the update and joins the transaction as a 2PC
+    participant. With [dst] equal to this site, a plain local enqueue.
+    @raise Aborted if the remote site is unreachable. *)
+
+val remote_participant : t -> rm_name:string -> Rrq_txn.Tm.participant
+(** 2PC proxy for a resource manager named "kind\@node" on another site. *)
+
+(** {1 Element views (wire-friendly copies)} *)
+
+type elem_view = {
+  v_eid : int64;
+  v_payload : string;
+  v_props : (string * string) list;
+  v_priority : int;
+  v_delivery_count : int;
+  v_abort_code : string option;
+}
+
+val view_of_element : Rrq_qm.Element.t -> elem_view
+
+val remote_dequeue :
+  t -> Rrq_txn.Tm.txn -> dst:string -> queue:string ->
+  filter:Rrq_qm.Filter.t -> elem_view option
+(** Dequeue (non-blocking, filtered) from a queue on another site within
+    the given transaction; the remote QM joins as a 2PC participant. Used
+    by queue replication to mirror a dequeue on the backup copy (§11).
+    @raise Aborted if the remote site is unreachable. *)
+
+
+(** {1 Messages of the services (exposed for clerk/baselines)} *)
+
+type Rrq_net.Net.payload +=
+  | Q_register of { queue : string; registrant : string; stable : bool }
+  | R_registered of {
+      last_kind : [ `Enqueue | `Dequeue ] option;
+      last_tag : string option;
+      last_eid : int64 option;
+    }
+  | Q_enqueue of {
+      registrant : string;
+      queue : string;
+      tag : string option;
+      props : (string * string) list;
+      priority : int;
+      body : string;
+    }
+  | R_eid of int64
+  | Q_dequeue of {
+      registrant : string;
+      queue : string;
+      tag : string option;
+      filter : Rrq_qm.Filter.t option;
+      timeout : float option;  (** [None] = no wait. *)
+    }
+  | R_element of elem_view option
+  | Q_read_last of { registrant : string; queue : string }
+  | Q_kill of int64
+  | Q_kill_where of Rrq_qm.Filter.t
+  | R_int of int
+  | R_bool of bool
+  | Q_deregister of { registrant : string; queue : string }
+  | Q_create_queue of string
+      (** Create a queue with default attributes if absent (private client
+          reply queues, §5's multiple-clients extension). *)
+  | Q_enqueue_tx of {
+      id : Rrq_txn.Txid.t;
+      queue : string;
+      props : (string * string) list;
+      priority : int;
+      body : string;
+    }
+  | Q_dequeue_tx of {
+      id : Rrq_txn.Txid.t;
+      queue : string;
+      filter : Rrq_qm.Filter.t;
+    }
+  | T_decision of Rrq_txn.Txid.t
+  | R_decision of [ `Committed | `Aborted | `Pending ]
+  | T_force_abort of Rrq_txn.Txid.t
+  | RM_prepare of { rm : string; id : Rrq_txn.Txid.t; coordinator : string }
+  | RM_commit of { rm : string; id : Rrq_txn.Txid.t }
+  | RM_abort of { rm : string; id : Rrq_txn.Txid.t }
+  | RM_has_work of { rm : string; id : Rrq_txn.Txid.t }

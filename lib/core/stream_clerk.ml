@@ -1,0 +1,77 @@
+module Sched = Rrq_sim.Sched
+module Ivar = Rrq_sim.Ivar
+module Cond = Rrq_sim.Cond
+
+type slot = { clerk : Clerk.t; mutable busy : bool; freed : Cond.t }
+
+type t = {
+  slots : slot array;
+  pending : Envelope.t option Ivar.t Queue.t; (* submission order *)
+  mutable seq : int;
+}
+
+let connect ~client_node ~system ~client_id ~req_queue ~width () =
+  if width < 1 then invalid_arg "Stream_clerk.connect: width must be >= 1";
+  let slots =
+    Array.init width (fun k ->
+        let clerk, _ =
+          Clerk.connect ~client_node ~system
+            ~client_id:(Printf.sprintf "%s#%d" client_id k)
+            ~req_queue ()
+        in
+        { clerk; busy = false; freed = Cond.create () })
+  in
+  { slots; pending = Queue.create (); seq = 0 }
+
+let submit t ~rid body =
+  let slot = t.slots.(t.seq mod Array.length t.slots) in
+  t.seq <- t.seq + 1;
+  while slot.busy do
+    Cond.wait slot.freed
+  done;
+  slot.busy <- true;
+  let iv = Ivar.create () in
+  Queue.push iv t.pending;
+  (* The whole round trip happens in a worker fiber so the window pipelines
+     both sends and receives; the caller blocks only when the window is
+     full. *)
+  ignore
+    (Sched.fork ~name:("stream:" ^ rid) (fun () ->
+         let reply =
+           try
+             ignore (Clerk.send slot.clerk ~rid body);
+             let rec get attempts =
+               if attempts > 30 then None
+               else begin
+                 match Clerk.receive slot.clerk ~timeout:5.0 () with
+                 | Some r -> Some r
+                 | None -> get (attempts + 1)
+               end
+             in
+             get 0
+           with Clerk.Unavailable _ -> None
+         in
+         Ivar.fill iv reply;
+         slot.busy <- false;
+         Cond.signal slot.freed))
+
+let next_reply t ?(timeout = 30.0) () =
+  match Queue.take_opt t.pending with
+  | None -> None
+  | Some iv -> begin
+    match Ivar.read_timeout iv timeout with
+    | Some reply -> reply
+    | None -> None
+  end
+
+let rec drain t ?(timeout = 30.0) () =
+  if Queue.is_empty t.pending then []
+  else begin
+    match next_reply t ~timeout () with
+    | Some r -> r :: drain t ~timeout ()
+    | None -> drain t ~timeout ()
+  end
+
+let outstanding t = Queue.length t.pending
+
+let disconnect t = Array.iter (fun slot -> Clerk.disconnect slot.clerk) t.slots

@@ -1,0 +1,39 @@
+(** Streaming requests and replies (paper §11's proposed extension).
+
+    "One could extend the Client Model to support streaming of requests and
+    replies, as in the Mercury system."
+
+    The base Client Model is strictly one-at-a-time: each request
+    acknowledges the previous reply, so a high-latency link serializes the
+    client. This module implements the streaming extension on top of the
+    concurrency-within-a-client mechanism of §5: the stream is a window of
+    [width] logical threads, each a full (registrant, tags) session of its
+    own at the QM. Up to [width] requests are outstanding at once;
+    completions are delivered in {e submission order} (head-of-line
+    buffering), and every per-thread guarantee (exactly-once processing,
+    at-least-once reply delivery, crash resynchronization) is inherited
+    from the underlying clerks.
+
+    Must be used from a fiber; replies are collected by [width] background
+    receiver fibers. *)
+
+type t
+
+val connect :
+  client_node:Rrq_net.Net.node -> system:string -> client_id:string ->
+  req_queue:string -> width:int -> unit -> t
+(** Open a stream of [width] concurrent sessions ("client_id#k"). *)
+
+val submit : t -> rid:string -> string -> unit
+(** Enqueue the next request on the stream. Blocks only when the window is
+    full (i.e. [width] requests are unacknowledged). *)
+
+val next_reply : t -> ?timeout:float -> unit -> Envelope.t option
+(** The reply to the oldest unacknowledged request, in submission order,
+    waiting up to [timeout] (default 30s) for it to arrive. *)
+
+val drain : t -> ?timeout:float -> unit -> Envelope.t list
+(** Replies, in order, for everything still outstanding. *)
+
+val outstanding : t -> int
+val disconnect : t -> unit

@@ -1,0 +1,21 @@
+module Codec = Rrq_util.Codec
+
+let pack rid ckpt =
+  let e = Codec.encoder () in
+  Codec.option Codec.string e rid;
+  Codec.option Codec.string e ckpt;
+  Codec.to_string e
+
+let send ~rid = pack (Some rid) None
+let receive ~rid ~ckpt = pack rid ckpt
+
+let unpack tag =
+  try
+    let d = Codec.decoder tag in
+    let rid = Codec.get_option Codec.get_string d in
+    let ckpt = Codec.get_option Codec.get_string d in
+    (rid, ckpt)
+  with Codec.Decode_error _ -> (None, None)
+
+let rid_piece tag = fst (unpack tag)
+let ckpt_piece tag = snd (unpack tag)

@@ -1,0 +1,18 @@
+(** Operation-tag codec.
+
+    The clerk tags queue operations with client state (paper §4.3, §5):
+    a Send's tag is the request id; a Receive's tag is the rid of the
+    previous Send plus the client's checkpoint. This module packs both
+    into the single string the QM stores. *)
+
+val send : rid:string -> string
+(** Tag for the Enqueue performed by Send. *)
+
+val receive : rid:string option -> ckpt:string option -> string
+(** Tag for the Dequeue performed by Receive. *)
+
+val rid_piece : string -> string option
+(** The rid component of a tag (either kind). *)
+
+val ckpt_piece : string -> string option
+(** The checkpoint component (Receive tags only). *)

@@ -1,0 +1,39 @@
+(** Shared plumbing for the experiment harness: scenario runners, rig
+    builders and auditing helpers used by both the benchmark executable and
+    the integration tests. *)
+
+val run_scenario : (Rrq_sim.Sched.t -> unit -> 'a) -> 'a
+(** Build a world and drive it: [f sched] runs during setup (outside any
+    fiber) and returns the driver, which then runs as the root fiber; the
+    call returns the driver's result once the simulation quiesces.
+    @raise Failure if any fiber died with an unhandled exception or the
+    driver never completed. *)
+
+val await : ?timeout:float -> ?poll:float -> (unit -> bool) -> bool
+(** Poll a predicate from inside a fiber until it holds (default poll 0.1,
+    timeout 300 virtual seconds); returns whether it held. *)
+
+(** A standard single-backend world. *)
+type rig = {
+  net : Rrq_net.Net.t;
+  backend : Rrq_core.Site.t;
+  client_node : Rrq_net.Net.node;
+}
+
+val make_rig :
+  ?drop_rate:float -> ?latency:float -> ?queues:(string * Rrq_qm.Qm.attrs) list ->
+  ?stale_timeout:float -> ?seed:int -> Rrq_sim.Sched.t -> rig
+(** Backend site named "backend" (with a default "req" queue unless
+    [queues] says otherwise) plus a bare "client" node. *)
+
+val counting_handler : Rrq_core.Server.handler
+(** Increments ["exec:" ^ rid] and ["total"], replies ["done:" ^ body] —
+    the standard exactly-once audit handler. *)
+
+val exec_count : Rrq_core.Site.t -> string -> int
+(** Committed value of ["exec:" ^ rid] (0 when absent). *)
+
+val audit_executions :
+  Rrq_core.Site.t list -> rids:string list -> int * int * int
+(** [(lost, exactly_once, duplicated)] across the given sites: for each
+    rid, sums its exec counters over all sites and classifies. *)

@@ -1,0 +1,24 @@
+(** Experiment B2 (paper §2): the cost of holding locks across reply
+    delivery and user think time.
+
+    Compares the one-transaction client design ({e send request, receive
+    reply, process reply} inside one transaction — locks held for the whole
+    round trip plus think time) against the paper's three-transaction
+    queued design (server locks held only for its short transaction; the
+    user thinks with no locks held), on a small hot account set, across a
+    think-time sweep. The queued design's latency should stay flat while
+    the held-lock design's p95 grows with think time. *)
+
+type row = {
+  design : string;
+  think : float;
+  clients : int;
+  hot_accounts : int;
+  completed : int;
+  elapsed : float;
+  throughput : float;
+  p95_latency : float;
+}
+
+val run : ?clients:int -> ?per_client:int -> ?hot_accounts:int -> unit -> row list
+val table : row list -> Rrq_util.Table.t

@@ -1,0 +1,26 @@
+(** Experiment E1: request-flow reliability under failures (paper §2, §5).
+
+    Pushes a fixed workload through three protocols — plain messages fired
+    once (at-most-once), plain messages with retry (at-least-once), and the
+    paper's queued protocol — under combinations of message loss and
+    backend crashes, and audits how many requests were lost, executed
+    exactly once, or executed more than once, and how many replies the
+    client obtained.
+
+    The queued protocol must show [lost = duplicated = 0] in every
+    condition; the baselines show the failure modes the paper's §2
+    describes. *)
+
+type row = {
+  protocol : string;
+  condition : string;
+  requests : int;
+  replies : int;
+  lost : int;
+  exactly_once : int;
+  duplicated : int;
+}
+
+val run : ?requests:int -> unit -> row list
+
+val table : row list -> Rrq_util.Table.t

@@ -1,0 +1,16 @@
+(** Experiment E3 (paper §8): the two interactive-request implementations
+    compared on the paper's own criteria — transactions per conversation,
+    whether a failure re-solicits input from the user, and late
+    cancellability. *)
+
+type row = {
+  mode : string;
+  transactions : int;
+  user_prompts : int;
+  reprompts_after_abort : int;
+  cancellable_after_output : bool;
+  completed : bool;
+}
+
+val run : unit -> row list
+val table : row list -> Rrq_util.Table.t

@@ -1,0 +1,65 @@
+(** Queueing-behavior experiments.
+
+    {b B3/B5} (paper §1, §10): many servers dequeue one queue. With
+    skip-locked dequeue, throughput scales with the number of servers (load
+    sharing); with strict FIFO (queue lock held to commit), dequeuers
+    serialize and adding servers does not help — the performance argument
+    §10 makes for tolerating non-FIFO order.
+
+    {b B4} (paper §1): queues buffer bursts. A 1-second burst of 100
+    requests against 3 servers: the queued system serves everything (depth
+    absorbs the burst); a queueless reject-when-busy server loses most of
+    it. *)
+
+type drain_row = {
+  mode : string;
+  servers : int;
+  jobs : int;
+  makespan : float;
+  throughput : float;
+}
+
+val run_drain : ?jobs:int -> ?work:float -> unit -> drain_row list
+val drain_table : drain_row list -> Rrq_util.Table.t
+
+type priority_row = {
+  policy : string;
+  backlog : int;
+  express_jobs : int;
+  express_p95 : float;
+  standard_p95 : float;
+}
+
+val run_priority :
+  ?backlog:int -> ?express:int -> ?work:float -> unit -> priority_row list
+(** B11 (§11): express requests against a standard-job backlog, with and
+    without priority scheduling. *)
+
+val priority_table : priority_row list -> Rrq_util.Table.t
+
+type poison_row = {
+  p_policy : string;
+  good_served : int;
+  wasted_executions : int;
+  poison_parked : bool;
+}
+
+val run_poison : ?good:int -> unit -> poison_row list
+(** A1 ablation (§4.2, §5): a poisonous request with and without the
+    error-queue machinery — parked after n aborts vs cyclic restart. *)
+
+val poison_table : poison_row list -> Rrq_util.Table.t
+
+type burst_row = {
+  system : string;
+  offered : int;
+  served : int;
+  rejected : int;
+  b_makespan : float;
+  max_depth : int;
+}
+
+val run_burst :
+  ?offered:int -> ?service_time:float -> ?capacity:int -> unit -> burst_row list
+
+val burst_table : burst_row list -> Rrq_util.Table.t

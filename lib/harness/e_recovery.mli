@@ -1,0 +1,14 @@
+(** Experiment B7 (paper §10): recovery cost and the effect of
+    checkpointing on a queue repository treated as a main-memory database
+    with a log. *)
+
+type row = {
+  ops : int;
+  checkpoint_every : int option;
+  log_bytes : int;
+  recovery_seconds : float;  (** Host CPU time to re-open after a crash. *)
+  recovered_elements : int;
+}
+
+val run : ?sizes:int list -> unit -> row list
+val table : row list -> Rrq_util.Table.t

@@ -1,0 +1,115 @@
+(* B9: the cost of replicated queues (paper §11: one-copy replication
+   "despite the cost of such strong synchronization"). Compares a plain
+   single-copy queue against a two-site replicated queue on operation
+   latency and throughput, and measures what the synchronization buys:
+   the queue survives the loss of either site. *)
+
+module Sched = Rrq_sim.Sched
+module Net = Rrq_net.Net
+module Rng = Rrq_util.Rng
+module Tm = Rrq_txn.Tm
+module Qm = Rrq_qm.Qm
+module Site = Rrq_core.Site
+module Replica = Rrq_core.Replica
+module Table = Rrq_util.Table
+module Histogram = Rrq_util.Histogram
+
+type row = {
+  config : string;
+  ops : int;
+  elapsed : float;
+  ops_per_s : float;
+  p95_latency : float;
+  survives_site_loss : bool;
+}
+
+let one_run ~replicated ~ops ~seed =
+  Common.run_scenario (fun s ->
+      let net = Net.create s (Rng.create seed) in
+      let a =
+        Site.create ~queues:[ ("q", Qm.default_attrs) ] ~stale_timeout:5.0
+          (Net.make_node net "siteA")
+      in
+      let b = Site.create ~stale_timeout:5.0 (Net.make_node net "siteB") in
+      let rq =
+        if replicated then Some (Replica.create ~primary:a ~backup:b ~queue:"rq")
+        else None
+      in
+      fun () ->
+        let lat = Histogram.create () in
+        let start = Sched.clock () in
+        (match rq with
+        | Some rq ->
+          for i = 1 to ops do
+            let t0 = Sched.clock () in
+            ignore
+              (Site.with_txn a (fun txn ->
+                   Replica.enqueue rq txn (Printf.sprintf "p%d" i)));
+            ignore (Site.with_txn a (fun txn -> Replica.dequeue rq txn));
+            Histogram.add lat (Sched.clock () -. t0)
+          done
+        | None ->
+          let h, _ =
+            Qm.register (Site.qm a) ~queue:"q" ~registrant:"bench" ~stable:false
+          in
+          for i = 1 to ops do
+            let t0 = Sched.clock () in
+            ignore
+              (Site.with_txn a (fun txn ->
+                   ignore
+                     (Qm.enqueue (Site.qm a) (Tm.txn_id txn) h
+                        (Printf.sprintf "p%d" i))));
+            ignore
+              (Site.with_txn a (fun txn ->
+                   ignore (Qm.dequeue (Site.qm a) (Tm.txn_id txn) h Qm.No_wait)));
+            Histogram.add lat (Sched.clock () -. t0)
+          done);
+        let elapsed = Sched.clock () -. start in
+        (* Does an element survive losing the site it was enqueued on? *)
+        let survives =
+          match rq with
+          | None -> false (* the only copy dies with siteA *)
+          | Some rq ->
+            ignore
+              (Site.with_txn a (fun txn ->
+                   ignore (Replica.enqueue rq txn "survivor")));
+            Site.crash a;
+            Qm.depth (Site.qm b) "rq" = 1
+        in
+        {
+          config = (if replicated then "replicated (2 sites, 2PC)" else "single copy");
+          ops;
+          elapsed;
+          ops_per_s = float_of_int (2 * ops) /. elapsed;
+          p95_latency = Histogram.percentile lat 0.95;
+          survives_site_loss = survives;
+        })
+
+let run ?(ops = 100) () =
+  [
+    one_run ~replicated:false ~ops ~seed:51;
+    one_run ~replicated:true ~ops ~seed:51;
+  ]
+
+let table rows =
+  let t =
+    Table.create
+      ~title:"B9: replicated queues - the cost and benefit of one-copy replication (sec. 11)"
+      ~columns:
+        [ "configuration"; "enq+deq pairs"; "elapsed (s)"; "ops/s";
+          "p95 pair latency (s)"; "element survives site loss" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          r.config;
+          string_of_int r.ops;
+          Printf.sprintf "%.2f" r.elapsed;
+          (if r.elapsed < 1e-9 then "n/a (all local, 0 virtual time)"
+           else Printf.sprintf "%.1f" r.ops_per_s);
+          Printf.sprintf "%.4f" r.p95_latency;
+          (if r.survives_site_loss then "yes" else "no");
+        ])
+    rows;
+  t

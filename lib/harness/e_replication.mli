@@ -1,0 +1,14 @@
+(** Experiment B9 (paper §11): what one-copy queue replication costs per
+    operation and what it buys (survival of a site loss). *)
+
+type row = {
+  config : string;
+  ops : int;
+  elapsed : float;
+  ops_per_s : float;
+  p95_latency : float;
+  survives_site_loss : bool;
+}
+
+val run : ?ops:int -> unit -> row list
+val table : row list -> Rrq_util.Table.t

@@ -1,0 +1,214 @@
+(* Randomized fault-injection soak: many concurrent clients push requests
+   through the queued protocol while a chaos process crashes the backend
+   and partitions the network at random (seeded) times. The audit at the
+   end must show zero lost and zero duplicated executions, whatever the
+   schedule — the strongest end-to-end statement of the paper's
+   exactly-once guarantee. *)
+
+module Sched = Rrq_sim.Sched
+module Net = Rrq_net.Net
+module Rng = Rrq_util.Rng
+module Site = Rrq_core.Site
+module Server = Rrq_core.Server
+module Clerk = Rrq_core.Clerk
+module Table = Rrq_util.Table
+
+type result = {
+  seed : int;
+  clients : int;
+  requests : int;
+  replies : int;
+  lost : int;
+  exactly_once : int;
+  duplicated : int;
+  crashes : int;
+  partitions : int;
+  virtual_time : float;
+}
+
+let run ?(seed = 1) ?(clients = 6) ?(per_client = 8) ?(drop = 0.05)
+    ?(crash_mean = 4.0) () =
+  Common.run_scenario (fun s ->
+      let rig = Common.make_rig ~drop_rate:drop ~seed s in
+      ignore
+        (Server.start rig.Common.backend ~req_queue:"req" ~threads:3
+           Common.counting_handler);
+      let chaos_rng = Rng.create (seed * 7919) in
+      let crashes = ref 0 and partitions = ref 0 in
+      let done_all = ref false in
+      ignore
+        (Sched.spawn s ~name:"chaos" (fun () ->
+             while not !done_all do
+               Sched.sleep_background (Rng.exponential chaos_rng ~mean:crash_mean);
+               if not !done_all then
+                 if Rng.chance chaos_rng 0.6 then begin
+                   incr crashes;
+                   Site.crash_restart rig.Common.backend
+                     ~after:(0.5 +. Rng.float chaos_rng 2.0)
+                 end
+                 else begin
+                   incr partitions;
+                   Net.partition rig.Common.net "client" "backend";
+                   let net = rig.Common.net in
+                   Sched.at s
+                     (Sched.now s +. 0.5 +. Rng.float chaos_rng 2.0)
+                     (fun () -> Net.heal net "client" "backend")
+                 end
+             done));
+      fun () ->
+        let replies = ref 0 and finished = ref 0 in
+        let rids = ref [] in
+        for c = 1 to clients do
+          ignore
+            (Sched.fork ~name:(Printf.sprintf "cl%d" c) (fun () ->
+                 let clerk, _ =
+                   Clerk.connect ~client_node:rig.Common.client_node
+                     ~system:"backend" ~client_id:(Printf.sprintf "soak%d" c)
+                     ~retries:40 ()
+                     ~req_queue:"req"
+                 in
+                 for i = 1 to per_client do
+                   let rid = Printf.sprintf "c%d-%d" c i in
+                   rids := rid :: !rids;
+                   (try
+                      ignore (Clerk.send clerk ~rid "work");
+                      let rec get n =
+                        if n > 60 then ()
+                        else begin
+                          match Clerk.receive clerk ~timeout:2.0 () with
+                          | Some _ -> incr replies
+                          | None -> get (n + 1)
+                        end
+                      in
+                      get 0
+                    with Clerk.Unavailable _ -> ())
+                 done;
+                 incr finished))
+        done;
+        ignore
+          (Common.await ~timeout:3000.0 (fun () -> !finished = clients));
+        done_all := true;
+        Sched.sleep 30.0 (* let retries and recovery settle *);
+        let lost, exactly_once, duplicated =
+          Common.audit_executions [ rig.Common.backend ] ~rids:!rids
+        in
+        {
+          seed;
+          clients;
+          requests = clients * per_client;
+          replies = !replies;
+          lost;
+          exactly_once;
+          duplicated;
+          crashes = !crashes;
+          partitions = !partitions;
+          virtual_time = Sched.clock ();
+        })
+
+(* Cross-site variant: random crash schedules against the 3-site transfer
+   pipeline; conservation of money is the audited invariant. *)
+let run_chain ?(seed = 1) ?(transfers = 6) ?(crash_mean = 1.0) () =
+  Common.run_scenario (fun s ->
+      let net = Net.create s (Rng.create (seed * 131)) in
+      let site_a = Site.create ~stale_timeout:2.0 (Net.make_node net "bankA") in
+      let site_b = Site.create ~stale_timeout:2.0 (Net.make_node net "bankB") in
+      let site_c = Site.create ~stale_timeout:2.0 (Net.make_node net "clearing") in
+      let pipeline =
+        Rrq_core.Pipeline.install (E_chain.transfer_stages site_a site_b site_c)
+      in
+      let client_node = Net.make_node net "client" in
+      Site.with_txn site_a (fun txn ->
+          Rrq_kvdb.Kvdb.put (Site.kv site_a) (Rrq_txn.Tm.txn_id txn) "acct:src"
+            "1000");
+      let chaos_rng = Rng.create (seed * 37) in
+      let crashes = ref 0 in
+      let done_all = ref false in
+      ignore
+        (Sched.spawn s ~name:"chaos" (fun () ->
+             while not !done_all do
+               Sched.sleep_background (Rng.exponential chaos_rng ~mean:crash_mean);
+               if not !done_all then begin
+                 incr crashes;
+                 let victim =
+                   Rng.pick chaos_rng [| site_a; site_b; site_c |]
+                 in
+                 Site.crash_restart victim ~after:(0.5 +. Rng.float chaos_rng 1.5)
+               end
+             done));
+      fun () ->
+        let completed = ref 0 in
+        for i = 1 to transfers do
+          ignore
+            (Sched.fork ~name:(Printf.sprintf "cl%d" i) (fun () ->
+                 (* stagger submissions so the chaos window covers them *)
+                 Sched.sleep (float_of_int i *. 1.5);
+                 let clerk, _ =
+                   Clerk.connect ~client_node
+                     ~system:(Rrq_core.Pipeline.entry_site pipeline)
+                     ~client_id:(Printf.sprintf "soak%d" i)
+                     ~req_queue:(Rrq_core.Pipeline.entry_queue pipeline)
+                     ~retries:40 ()
+                 in
+                 (try
+                    ignore (Clerk.send clerk ~rid:(Printf.sprintf "t%d" i) "x");
+                    let rec get n =
+                      if n > 60 then ()
+                      else begin
+                        match Clerk.receive clerk ~timeout:3.0 () with
+                        | Some _ -> incr completed
+                        | None -> get (n + 1)
+                      end
+                    in
+                    get 0
+                  with Clerk.Unavailable _ -> ())))
+        done;
+        ignore (Common.await ~timeout:3000.0 (fun () -> !completed = transfers));
+        done_all := true;
+        Sched.sleep 20.0;
+        let bal site key =
+          match Rrq_kvdb.Kvdb.committed_value (Site.kv site) key with
+          | Some v -> int_of_string v
+          | None -> 0
+        in
+        let src = bal site_a "acct:src" in
+        let dst = bal site_b "acct:dst" in
+        let cleared = bal site_c "cleared" in
+        {
+          seed;
+          clients = transfers;
+          requests = transfers;
+          replies = !completed;
+          lost = (if src + dst = 1000 && dst = 100 * transfers then 0 else 1);
+          exactly_once =
+            (if dst = 100 * transfers && cleared = transfers then transfers else 0);
+          duplicated = (if dst > 100 * transfers then 1 else 0);
+          crashes = !crashes;
+          partitions = 0;
+          virtual_time = Sched.clock ();
+        })
+
+let table results =
+  let t =
+    Table.create ~title:"Soak: randomized crash/partition schedules"
+      ~columns:
+        [ "seed"; "requests"; "replies"; "lost"; "exactly-once"; "duplicated";
+          "crashes"; "partitions"; "virtual s" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          string_of_int r.seed;
+          string_of_int r.requests;
+          string_of_int r.replies;
+          string_of_int r.lost;
+          string_of_int r.exactly_once;
+          string_of_int r.duplicated;
+          string_of_int r.crashes;
+          string_of_int r.partitions;
+          Printf.sprintf "%.0f" r.virtual_time;
+        ])
+    results;
+  t
+
+let ok r = r.lost = 0 && r.duplicated = 0 && r.replies = r.requests

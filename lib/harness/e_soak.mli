@@ -1,0 +1,30 @@
+(** Randomized fault-injection soak runs: the strongest end-to-end check of
+    Exactly-Once Request-Processing and At-Least-Once Reply-Processing
+    under seeded random crash/partition schedules. *)
+
+type result = {
+  seed : int;
+  clients : int;
+  requests : int;
+  replies : int;
+  lost : int;
+  exactly_once : int;
+  duplicated : int;
+  crashes : int;
+  partitions : int;
+  virtual_time : float;
+}
+
+val run :
+  ?seed:int -> ?clients:int -> ?per_client:int -> ?drop:float ->
+  ?crash_mean:float -> unit -> result
+
+val run_chain :
+  ?seed:int -> ?transfers:int -> ?crash_mean:float -> unit -> result
+(** Cross-site variant: the 3-site transfer pipeline under a random crash
+    schedule; "lost"/"duplicated" encode conservation violations. *)
+
+val table : result list -> Rrq_util.Table.t
+
+val ok : result -> bool
+(** No loss, no duplication, every reply delivered. *)

@@ -1,0 +1,14 @@
+(** Experiment B10 (paper §11): the streaming client extension — window
+    width vs end-to-end throughput over a high-latency link. *)
+
+type row = {
+  width : int;
+  requests : int;
+  latency : float;
+  elapsed : float;
+  throughput : float;
+  exactly_once : bool;
+}
+
+val run : ?requests:int -> ?latency:float -> unit -> row list
+val table : row list -> Rrq_util.Table.t

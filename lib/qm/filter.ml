@@ -1,0 +1,88 @@
+module Codec = Rrq_util.Codec
+
+type t =
+  | True
+  | Prop_eq of string * string
+  | Prop_exists of string
+  | Prop_ge of string * int
+  | Priority_ge of int
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+let rec matches f (el : Element.t) =
+  match f with
+  | True -> true
+  | Prop_eq (k, v) -> Element.prop el k = Some v
+  | Prop_exists k -> Element.prop el k <> None
+  | Prop_ge (k, bound) -> begin
+    match Element.prop el k with
+    | None -> false
+    | Some s -> ( match int_of_string_opt s with Some n -> n >= bound | None -> false)
+  end
+  | Priority_ge p -> el.Element.priority >= p
+  | Not g -> not (matches g el)
+  | And (a, b) -> matches a el && matches b el
+  | Or (a, b) -> matches a el || matches b el
+
+let rec to_string = function
+  | True -> "true"
+  | Prop_eq (k, v) -> Printf.sprintf "%s=%S" k v
+  | Prop_exists k -> Printf.sprintf "has(%s)" k
+  | Prop_ge (k, n) -> Printf.sprintf "%s>=%d" k n
+  | Priority_ge p -> Printf.sprintf "prio>=%d" p
+  | Not g -> Printf.sprintf "not(%s)" (to_string g)
+  | And (a, b) -> Printf.sprintf "(%s and %s)" (to_string a) (to_string b)
+  | Or (a, b) -> Printf.sprintf "(%s or %s)" (to_string a) (to_string b)
+
+let rec encode e = function
+  | True -> Codec.u8 e 0
+  | Prop_eq (k, v) ->
+    Codec.u8 e 1;
+    Codec.string e k;
+    Codec.string e v
+  | Prop_exists k ->
+    Codec.u8 e 2;
+    Codec.string e k
+  | Prop_ge (k, n) ->
+    Codec.u8 e 3;
+    Codec.string e k;
+    Codec.int e n
+  | Priority_ge p ->
+    Codec.u8 e 4;
+    Codec.int e p
+  | Not g ->
+    Codec.u8 e 5;
+    encode e g
+  | And (a, b) ->
+    Codec.u8 e 6;
+    encode e a;
+    encode e b
+  | Or (a, b) ->
+    Codec.u8 e 7;
+    encode e a;
+    encode e b
+
+let rec decode d =
+  match Codec.get_u8 d with
+  | 0 -> True
+  | 1 ->
+    let k = Codec.get_string d in
+    let v = Codec.get_string d in
+    Prop_eq (k, v)
+  | 2 -> Prop_exists (Codec.get_string d)
+  | 3 ->
+    let k = Codec.get_string d in
+    let n = Codec.get_int d in
+    Prop_ge (k, n)
+  | 4 -> Priority_ge (Codec.get_int d)
+  | 5 -> Not (decode d)
+  | 6 ->
+    let a = decode d in
+    let b = decode d in
+    And (a, b)
+  | 7 ->
+    let a = decode d in
+    let b = decode d in
+    Or (a, b)
+  | n -> raise (Codec.Decode_error (Printf.sprintf "filter: bad tag %d" n))

@@ -1,0 +1,25 @@
+(** Content-based retrieval predicates (paper §1, §11: "content-based
+    retrieval", "request contents (highest dollar amount first)").
+
+    A filter is evaluated against an element's properties and priority when
+    a dequeuer wants a specific subset of a queue — e.g. a server that only
+    handles requests of one type, or a scheduler draining high-value
+    requests first. *)
+
+type t =
+  | True  (** Matches everything. *)
+  | Prop_eq of string * string  (** Property present with this exact value. *)
+  | Prop_exists of string
+  | Prop_ge of string * int  (** Property parses as an int >= bound. *)
+  | Priority_ge of int
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+val matches : t -> Element.t -> bool
+
+val to_string : t -> string
+(** Debug rendering. *)
+
+val encode : Rrq_util.Codec.encoder -> t -> unit
+val decode : Rrq_util.Codec.decoder -> t

@@ -1,0 +1,1070 @@
+module Codec = Rrq_util.Codec
+module Wal = Rrq_wal.Wal
+module Disk = Rrq_storage.Disk
+module Lock = Rrq_txn.Lock
+module Tm = Rrq_txn.Tm
+module Txid = Rrq_txn.Txid
+module Cond = Rrq_sim.Cond
+
+type wait = No_wait | Block | Timeout of float
+type durability = Stable | Volatile
+
+type attrs = {
+  durability : durability;
+  retry_limit : int;
+  error_queue : string option;
+  redirect_to : string option;
+  alert_threshold : int option;
+  strict_fifo : bool;
+}
+
+let default_attrs =
+  {
+    durability = Stable;
+    retry_limit = 3;
+    error_queue = None;
+    redirect_to = None;
+    alert_threshold = None;
+    strict_fifo = false;
+  }
+
+type trigger = {
+  on_queue : string;
+  group_prop : string;
+  complete : Element.t list -> bool;
+  make : Element.t list -> (string * string * (string * string) list) list;
+}
+
+type last_op = {
+  op_kind : [ `Enqueue | `Dequeue ];
+  tag : string;
+  op_eid : int64;
+  element_copy : Element.t option;
+}
+
+type handle = { h_registrant : string; h_queue : string }
+
+exception No_such_queue of string
+exception Not_registered of string
+exception Conflict of string
+exception Stopped of string
+
+(* Elements sorted by (priority desc, enq_time, eid): Map ascending order is
+   dequeue order. *)
+module Emap = Map.Make (struct
+  type t = int * float * int64
+
+  let compare = compare
+end)
+
+type queue = {
+  qname : string;
+  mutable qattrs : attrs;
+  mutable elems : Element.t Emap.t;
+  nonempty : Cond.t;
+  mutable n_enq : int;
+  mutable n_deq : int;
+  mutable alerted : bool;
+  mutable stopped : bool;
+}
+
+type reg = {
+  r_registrant : string;
+  r_queue : string;
+  r_stable : bool;
+  mutable r_last : last_op option;
+}
+
+type redo =
+  | RCreate of string * attrs
+  | REnq of string * Element.t
+  | RDeq of int64
+  | RKill of int64
+  | RBump of int64
+  | RMove_error of int64 * string * string
+  | RRegister of string * string * bool
+  | RDeregister of string * string
+  | RSet_last of string * string * last_op option
+  | RIncarnation
+  | RDestroy of string
+  | RSet_stopped of string * bool
+  | RAlter of string * attrs
+
+type ws_op = { op_redo : redo; op_errq : string option }
+
+type ws = { mutable ops : ws_op list (* newest first *); mutable activity : float }
+type prep = { p_coord : string; p_ops : ws_op list (* oldest first *) }
+
+type t = {
+  qm_name : string;
+  wal : Wal.t;
+  queues : (string, queue) Hashtbl.t;
+  index : (int64, string * Element.t) Hashtbl.t;
+  regs : (string * string, reg) Hashtbl.t;
+  locks : Lock.t;
+  workspaces : (Txid.t, ws) Hashtbl.t;
+  prepared : (Txid.t, prep) Hashtbl.t;
+  triggers : (string, trigger list) Hashtbl.t;
+  mutable incarnations : int;
+  mutable next_eid_low : int64;
+  mutable replaying : bool;
+  mutable abort_cb : Txid.t -> unit;
+  mutable alert_cb : string -> int -> unit;
+  mutable clock : unit -> float;
+  mutable internal_seq : float;
+  mutable auto_n : int;
+}
+
+(* ---- codecs -------------------------------------------------------- *)
+
+let encode_attrs e a =
+  Codec.u8 e (match a.durability with Stable -> 0 | Volatile -> 1);
+  Codec.int e a.retry_limit;
+  Codec.option Codec.string e a.error_queue;
+  Codec.option Codec.string e a.redirect_to;
+  Codec.option Codec.int e a.alert_threshold;
+  Codec.bool e a.strict_fifo
+
+let decode_attrs d =
+  let durability = match Codec.get_u8 d with 0 -> Stable | _ -> Volatile in
+  let retry_limit = Codec.get_int d in
+  let error_queue = Codec.get_option Codec.get_string d in
+  let redirect_to = Codec.get_option Codec.get_string d in
+  let alert_threshold = Codec.get_option Codec.get_int d in
+  let strict_fifo = Codec.get_bool d in
+  { durability; retry_limit; error_queue; redirect_to; alert_threshold; strict_fifo }
+
+let encode_last_op e l =
+  Codec.u8 e (match l.op_kind with `Enqueue -> 0 | `Dequeue -> 1);
+  Codec.string e l.tag;
+  Codec.i64 e l.op_eid;
+  Codec.option Element.encode e l.element_copy
+
+let decode_last_op d =
+  let op_kind = match Codec.get_u8 d with 0 -> `Enqueue | _ -> `Dequeue in
+  let tag = Codec.get_string d in
+  let op_eid = Codec.get_i64 d in
+  let element_copy = Codec.get_option Element.decode d in
+  { op_kind; tag; op_eid; element_copy }
+
+let encode_redo e = function
+  | RCreate (q, a) ->
+    Codec.u8 e 1;
+    Codec.string e q;
+    encode_attrs e a
+  | REnq (q, el) ->
+    Codec.u8 e 2;
+    Codec.string e q;
+    Element.encode e el
+  | RDeq eid ->
+    Codec.u8 e 3;
+    Codec.i64 e eid
+  | RKill eid ->
+    Codec.u8 e 4;
+    Codec.i64 e eid
+  | RBump eid ->
+    Codec.u8 e 5;
+    Codec.i64 e eid
+  | RMove_error (eid, q, code) ->
+    Codec.u8 e 6;
+    Codec.i64 e eid;
+    Codec.string e q;
+    Codec.string e code
+  | RRegister (r, q, stable) ->
+    Codec.u8 e 7;
+    Codec.string e r;
+    Codec.string e q;
+    Codec.bool e stable
+  | RDeregister (r, q) ->
+    Codec.u8 e 8;
+    Codec.string e r;
+    Codec.string e q
+  | RSet_last (r, q, l) ->
+    Codec.u8 e 9;
+    Codec.string e r;
+    Codec.string e q;
+    Codec.option encode_last_op e l
+  | RIncarnation -> Codec.u8 e 10
+  | RDestroy q ->
+    Codec.u8 e 11;
+    Codec.string e q
+  | RSet_stopped (q, flag) ->
+    Codec.u8 e 12;
+    Codec.string e q;
+    Codec.bool e flag
+  | RAlter (q, a) ->
+    Codec.u8 e 13;
+    Codec.string e q;
+    encode_attrs e a
+
+let decode_redo d =
+  match Codec.get_u8 d with
+  | 1 ->
+    let q = Codec.get_string d in
+    let a = decode_attrs d in
+    RCreate (q, a)
+  | 2 ->
+    let q = Codec.get_string d in
+    let el = Element.decode d in
+    REnq (q, el)
+  | 3 -> RDeq (Codec.get_i64 d)
+  | 4 -> RKill (Codec.get_i64 d)
+  | 5 -> RBump (Codec.get_i64 d)
+  | 6 ->
+    let eid = Codec.get_i64 d in
+    let q = Codec.get_string d in
+    let code = Codec.get_string d in
+    RMove_error (eid, q, code)
+  | 7 ->
+    let r = Codec.get_string d in
+    let q = Codec.get_string d in
+    let stable = Codec.get_bool d in
+    RRegister (r, q, stable)
+  | 8 ->
+    let r = Codec.get_string d in
+    let q = Codec.get_string d in
+    RDeregister (r, q)
+  | 9 ->
+    let r = Codec.get_string d in
+    let q = Codec.get_string d in
+    let l = Codec.get_option decode_last_op d in
+    RSet_last (r, q, l)
+  | 10 -> RIncarnation
+  | 11 -> RDestroy (Codec.get_string d)
+  | 12 ->
+    let q = Codec.get_string d in
+    let flag = Codec.get_bool d in
+    RSet_stopped (q, flag)
+  | 13 ->
+    let q = Codec.get_string d in
+    let a = decode_attrs d in
+    RAlter (q, a)
+  | n -> raise (Codec.Decode_error (Printf.sprintf "qm: bad redo tag %d" n))
+
+let encode_ws_op e op =
+  Codec.option Codec.string e op.op_errq;
+  encode_redo e op.op_redo
+
+let decode_ws_op d =
+  let op_errq = Codec.get_option Codec.get_string d in
+  let op_redo = decode_redo d in
+  { op_redo; op_errq }
+
+(* Log record kinds (framing around redo lists). *)
+let k_one_phase = 1
+let k_prepare = 2
+let k_commit = 3
+let k_abort = 4
+let k_now = 5
+
+let encode_record kind txid_opt coordinator ops =
+  let e = Codec.encoder () in
+  Codec.u8 e kind;
+  Codec.option Txid.encode e txid_opt;
+  Codec.string e coordinator;
+  Codec.list encode_ws_op e ops;
+  Codec.to_string e
+
+let decode_record payload =
+  let d = Codec.decoder payload in
+  let kind = Codec.get_u8 d in
+  let txid = Codec.get_option Txid.decode d in
+  let coordinator = Codec.get_string d in
+  let ops = Codec.get_list decode_ws_op d in
+  (kind, txid, coordinator, ops)
+
+(* ---- state helpers -------------------------------------------------- *)
+
+let get_queue t qn =
+  match Hashtbl.find_opt t.queues qn with
+  | Some q -> q
+  | None -> raise (No_such_queue qn)
+
+let make_queue qname qattrs =
+  {
+    qname;
+    qattrs;
+    elems = Emap.empty;
+    nonempty = Cond.create ();
+    n_enq = 0;
+    n_deq = 0;
+    alerted = false;
+    stopped = false;
+  }
+
+let default_error_queue q =
+  match q.qattrs.error_queue with Some n -> n | None -> q.qname ^ ".err"
+
+let ensure_queue t qn attrs =
+  if not (Hashtbl.mem t.queues qn) then
+    Hashtbl.replace t.queues qn (make_queue qn attrs)
+
+let queue_depth q = Emap.cardinal q.elems
+
+let check_alert t q =
+  if not t.replaying then
+    match q.qattrs.alert_threshold with
+    | Some thr ->
+      let d = queue_depth q in
+      if d >= thr && not q.alerted then begin
+        q.alerted <- true;
+        t.alert_cb q.qname d
+      end
+      else if d < thr then q.alerted <- false
+    | None -> ()
+
+let remove_element t eid =
+  match Hashtbl.find_opt t.index eid with
+  | None -> None
+  | Some (qn, el) ->
+    let q = get_queue t qn in
+    q.elems <- Emap.remove (Element.key el) q.elems;
+    Hashtbl.remove t.index eid;
+    (match q.qattrs.alert_threshold with
+    | Some thr when queue_depth q < thr -> q.alerted <- false
+    | _ -> ());
+    Some (q, el)
+
+(* Insert, following redirection, then fire any completed trigger group. *)
+let rec insert_element t qn el =
+  let q = get_queue t qn in
+  match q.qattrs.redirect_to with
+  | Some target when target <> qn && Hashtbl.mem t.queues target ->
+    insert_element t target el
+  | _ ->
+    q.elems <- Emap.add (Element.key el) el q.elems;
+    Hashtbl.replace t.index el.Element.eid (q.qname, el);
+    if not t.replaying then q.n_enq <- q.n_enq + 1;
+    Cond.signal q.nonempty;
+    check_alert t q;
+    check_triggers t q el
+
+and check_triggers t q el =
+  match Hashtbl.find_opt t.triggers q.qname with
+  | None -> ()
+  | Some trigs ->
+    List.iter
+      (fun trig ->
+        match Element.prop el trig.group_prop with
+        | None -> ()
+        | Some gv ->
+          let members =
+            Emap.fold
+              (fun _ m acc ->
+                if m.Element.status = Element.Ready
+                   && Element.prop m trig.group_prop = Some gv
+                then m :: acc
+                else acc)
+              q.elems []
+            |> List.rev
+          in
+          if members <> [] && trig.complete members then begin
+            let outputs = trig.make members in
+            List.iter
+              (fun m -> ignore (remove_element t m.Element.eid))
+              members;
+            List.iter
+              (fun (target, payload, props) ->
+                let eid = fresh_eid t in
+                let out =
+                  Element.make ~eid ~payload ~props ~priority:0
+                    ~enq_time:(now t)
+                in
+                insert_element t target out)
+              outputs
+          end)
+      trigs
+
+and fresh_eid t =
+  t.next_eid_low <- Int64.add t.next_eid_low 1L;
+  Int64.add (Int64.mul (Int64.of_int t.incarnations) 0x100000000L) t.next_eid_low
+
+and now t =
+  t.internal_seq <- t.internal_seq +. 1.0;
+  t.clock () +. (t.internal_seq *. 1e-9)
+
+(* Trigger outputs allocate eids at apply time. During replay this re-runs
+   with the same incarnation counter state as the original run *only if*
+   the original run allocated them in the same order — which holds because
+   apply order equals log order. Post-crash incarnation bumps keep fresh
+   eids unique anyway. *)
+
+let apply t op =
+  match op with
+  | RCreate (qn, a) -> ensure_queue t qn a
+  | REnq (qn, el) -> insert_element t qn el
+  | RDeq eid -> begin
+    match remove_element t eid with
+    | Some (q, _) -> if not t.replaying then q.n_deq <- q.n_deq + 1
+    | None -> ()
+  end
+  | RKill eid -> ignore (remove_element t eid)
+  | RBump eid -> begin
+    match Hashtbl.find_opt t.index eid with
+    | Some (_, el) -> el.Element.delivery_count <- el.Element.delivery_count + 1
+    | None -> ()
+  end
+  | RMove_error (eid, errq, code) -> begin
+    match remove_element t eid with
+    | None -> ()
+    | Some (_, el) ->
+      el.Element.abort_code <- Some code;
+      el.Element.status <- Element.Ready;
+      ensure_queue t errq
+        { default_attrs with retry_limit = max_int; error_queue = Some errq };
+      insert_element t errq el
+  end
+  | RRegister (r, qn, stable) ->
+    if not (Hashtbl.mem t.regs (r, qn)) then
+      Hashtbl.replace t.regs (r, qn)
+        { r_registrant = r; r_queue = qn; r_stable = stable; r_last = None }
+  | RDeregister (r, qn) -> Hashtbl.remove t.regs (r, qn)
+  | RSet_last (r, qn, l) -> begin
+    match Hashtbl.find_opt t.regs (r, qn) with
+    | Some reg -> reg.r_last <- l
+    | None -> ()
+  end
+  | RIncarnation ->
+    t.incarnations <- t.incarnations + 1;
+    t.next_eid_low <- 0L
+  | RDestroy qn -> begin
+    match Hashtbl.find_opt t.queues qn with
+    | None -> ()
+    | Some q ->
+      Emap.iter (fun _ el -> Hashtbl.remove t.index el.Element.eid) q.elems;
+      Hashtbl.remove t.queues qn;
+      let doomed =
+        Hashtbl.fold
+          (fun key reg acc -> if reg.r_queue = qn then key :: acc else acc)
+          t.regs []
+      in
+      List.iter (Hashtbl.remove t.regs) doomed
+  end
+  | RSet_stopped (qn, flag) -> begin
+    match Hashtbl.find_opt t.queues qn with
+    | Some q ->
+      q.stopped <- flag;
+      if not flag then Cond.broadcast q.nonempty
+    | None -> ()
+  end
+  | RAlter (qn, a) -> begin
+    match Hashtbl.find_opt t.queues qn with
+    | Some q ->
+      q.qattrs <- a;
+      check_alert t q
+    | None -> ()
+  end
+
+(* A redo is stable iff every queue it touches is stable; registration
+   records are always stable. Volatile-queue updates are applied but never
+   logged — they cost no forced writes and evaporate on crash. *)
+let redo_is_stable t = function
+  | RCreate (_, _) -> true (* DDL is durable even for volatile queues *)
+  | REnq (qn, _) -> begin
+    match Hashtbl.find_opt t.queues qn with
+    | Some q -> q.qattrs.durability = Stable
+    | None -> true
+  end
+  | RDeq eid | RKill eid | RBump eid | RMove_error (eid, _, _) -> begin
+    match Hashtbl.find_opt t.index eid with
+    | Some (qn, _) -> (get_queue t qn).qattrs.durability = Stable
+    | None -> true
+  end
+  | RRegister _ | RDeregister _ | RSet_last _ | RIncarnation -> true
+  | RDestroy _ | RSet_stopped _ | RAlter _ -> true
+
+(* ---- snapshot / recovery ------------------------------------------- *)
+
+let encode_snapshot t =
+  let e = Codec.encoder () in
+  Codec.int e t.incarnations;
+  (* stable queues only: volatile contents die with the process anyway *)
+  let stable_queues =
+    Hashtbl.fold
+      (fun _ q acc -> if q.qattrs.durability = Stable then q :: acc else acc)
+      t.queues []
+    |> List.sort (fun a b -> compare a.qname b.qname)
+  in
+  Codec.int e (List.length stable_queues);
+  List.iter
+    (fun q ->
+      Codec.string e q.qname;
+      encode_attrs e q.qattrs;
+      Codec.int e (Emap.cardinal q.elems);
+      Emap.iter (fun _ el -> Element.encode e el) q.elems)
+    stable_queues;
+  let stopped_queues =
+    Hashtbl.fold (fun qn q acc -> if q.stopped then qn :: acc else acc) t.queues []
+  in
+  Codec.list Codec.string e (List.sort compare stopped_queues);
+  Codec.int e (Hashtbl.length t.regs);
+  Hashtbl.iter
+    (fun (r, qn) reg ->
+      Codec.string e r;
+      Codec.string e qn;
+      Codec.bool e reg.r_stable;
+      Codec.option encode_last_op e reg.r_last)
+    t.regs;
+  Codec.int e (Hashtbl.length t.prepared);
+  Hashtbl.iter
+    (fun id p ->
+      Txid.encode e id;
+      Codec.string e p.p_coord;
+      Codec.list encode_ws_op e
+        (List.filter (fun op -> redo_is_stable t op.op_redo) p.p_ops))
+    t.prepared;
+  Codec.to_string e
+
+let restore_snapshot t snap =
+  let d = Codec.decoder snap in
+  t.incarnations <- Codec.get_int d;
+  let nq = Codec.get_int d in
+  for _ = 1 to nq do
+    let qn = Codec.get_string d in
+    let a = decode_attrs d in
+    let q = make_queue qn a in
+    Hashtbl.replace t.queues qn q;
+    let ne = Codec.get_int d in
+    for _ = 1 to ne do
+      let el = Element.decode d in
+      q.elems <- Emap.add (Element.key el) el q.elems;
+      Hashtbl.replace t.index el.Element.eid (qn, el)
+    done
+  done;
+  let stopped_queues = Codec.get_list Codec.get_string d in
+  List.iter
+    (fun qn ->
+      match Hashtbl.find_opt t.queues qn with
+      | Some q -> q.stopped <- true
+      | None -> ())
+    stopped_queues;
+  let nr = Codec.get_int d in
+  for _ = 1 to nr do
+    let r = Codec.get_string d in
+    let qn = Codec.get_string d in
+    let stable = Codec.get_bool d in
+    let last = Codec.get_option decode_last_op d in
+    Hashtbl.replace t.regs (r, qn)
+      { r_registrant = r; r_queue = qn; r_stable = stable; r_last = last }
+  done;
+  let np = Codec.get_int d in
+  for _ = 1 to np do
+    let id = Txid.decode d in
+    let coord = Codec.get_string d in
+    let ops = Codec.get_list decode_ws_op d in
+    Hashtbl.replace t.prepared id { p_coord = coord; p_ops = ops }
+  done
+
+let replay_record t payload =
+  let kind, txid, coordinator, ops = decode_record payload in
+  if kind = k_one_phase || kind = k_now then
+    List.iter (fun op -> apply t op.op_redo) ops
+  else if kind = k_prepare then begin
+    match txid with
+    | Some id -> Hashtbl.replace t.prepared id { p_coord = coordinator; p_ops = ops }
+    | None -> failwith "qm: prepare record without txid"
+  end
+  else if kind = k_commit then begin
+    match txid with
+    | Some id -> begin
+      match Hashtbl.find_opt t.prepared id with
+      | Some p ->
+        List.iter (fun op -> apply t op.op_redo) p.p_ops;
+        Hashtbl.remove t.prepared id
+      | None -> ()
+    end
+    | None -> failwith "qm: commit record without txid"
+  end
+  else if kind = k_abort then begin
+    match txid with
+    | Some id -> Hashtbl.remove t.prepared id
+    | None -> failwith "qm: abort record without txid"
+  end
+  else failwith (Printf.sprintf "qm: unknown record kind %d" kind)
+
+(* Re-assert the volatile exclusions of in-doubt transactions: dequeued
+   elements stay locked, strict-FIFO queue locks are re-taken. *)
+let relock_prepared t =
+  Hashtbl.iter
+    (fun id p ->
+      List.iter
+        (fun op ->
+          match op.op_redo with
+          | RDeq eid -> begin
+            match Hashtbl.find_opt t.index eid with
+            | Some (qn, el) ->
+              el.Element.status <- Element.Deq_pending id;
+              let q = get_queue t qn in
+              if q.qattrs.strict_fifo then
+                Lock.acquire t.locks id ~key:("q:" ^ qn) Lock.X
+            | None -> ()
+          end
+          | RCreate _ | REnq _ | RKill _ | RBump _ | RMove_error _
+          | RRegister _ | RDeregister _ | RSet_last _ | RIncarnation
+          | RDestroy _ | RSet_stopped _ | RAlter _ -> ())
+        p.p_ops)
+    t.prepared
+
+let log_now t ops =
+  let stable = List.filter (fun op -> redo_is_stable t op.op_redo) ops in
+  if stable <> [] then Wal.append_sync t.wal (encode_record k_now None "" stable);
+  List.iter (fun op -> apply t op.op_redo) ops
+
+let open_qm ?(triggers = []) disk ~name:qm_name =
+  let wal, recovered = Wal.open_log disk ~name:(qm_name ^ ".qmlog") in
+  let t =
+    {
+      qm_name;
+      wal;
+      queues = Hashtbl.create 16;
+      index = Hashtbl.create 256;
+      regs = Hashtbl.create 32;
+      locks = Lock.create ();
+      workspaces = Hashtbl.create 16;
+      prepared = Hashtbl.create 8;
+      triggers = Hashtbl.create 4;
+      incarnations = 0;
+      next_eid_low = 0L;
+      replaying = true;
+      abort_cb = (fun _ -> ());
+      alert_cb = (fun _ _ -> ());
+      clock = (fun () -> 0.0);
+      internal_seq = 0.0;
+      auto_n = 0;
+    }
+  in
+  List.iter
+    (fun trig ->
+      let cur =
+        match Hashtbl.find_opt t.triggers trig.on_queue with
+        | Some l -> l
+        | None -> []
+      in
+      Hashtbl.replace t.triggers trig.on_queue (cur @ [ trig ]))
+    triggers;
+  (match recovered.Wal.snapshot with
+  | Some snap -> restore_snapshot t snap
+  | None -> ());
+  List.iter (replay_record t) recovered.Wal.records;
+  relock_prepared t;
+  t.replaying <- false;
+  (* Bump the incarnation durably so eids and auto-txids never repeat. *)
+  log_now t [ { op_redo = RIncarnation; op_errq = None } ];
+  t
+
+let name t = t.qm_name
+
+(* ---- DDL ------------------------------------------------------------ *)
+
+let create_queue t ?(attrs = default_attrs) qn =
+  if not (Hashtbl.mem t.queues qn) then
+    log_now t [ { op_redo = RCreate (qn, attrs); op_errq = None } ]
+
+let alter_queue t qn attrs =
+  let q = get_queue t qn in
+  if q.qattrs.durability <> attrs.durability then
+    invalid_arg "Qm.alter_queue: durability class is immutable";
+  log_now t [ { op_redo = RAlter (qn, attrs); op_errq = None } ]
+
+let destroy_queue t qn =
+  ignore (get_queue t qn);
+  log_now t [ { op_redo = RDestroy qn; op_errq = None } ]
+
+let stop_queue t qn =
+  ignore (get_queue t qn);
+  log_now t [ { op_redo = RSet_stopped (qn, true); op_errq = None } ]
+
+let start_queue t qn =
+  ignore (get_queue t qn);
+  log_now t [ { op_redo = RSet_stopped (qn, false); op_errq = None } ]
+
+let queue_stopped t qn = (get_queue t qn).stopped
+
+let queue_exists t qn = Hashtbl.mem t.queues qn
+
+let queue_names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.queues [] |> List.sort compare
+
+let depth t qn = queue_depth (get_queue t qn)
+
+(* ---- registration ---------------------------------------------------- *)
+
+let register t ~queue ~registrant ~stable =
+  if not (Hashtbl.mem t.queues queue) then raise (No_such_queue queue);
+  let h = { h_registrant = registrant; h_queue = queue } in
+  match Hashtbl.find_opt t.regs (registrant, queue) with
+  | Some reg -> (h, if reg.r_stable then reg.r_last else None)
+  | None ->
+    log_now t [ { op_redo = RRegister (registrant, queue, stable); op_errq = None } ];
+    (h, None)
+
+let reg_of t h =
+  match Hashtbl.find_opt t.regs (h.h_registrant, h.h_queue) with
+  | Some reg -> reg
+  | None ->
+    raise (Not_registered (Printf.sprintf "%s@%s" h.h_registrant h.h_queue))
+
+let deregister t h =
+  ignore (reg_of t h);
+  log_now t
+    [ { op_redo = RDeregister (h.h_registrant, h.h_queue); op_errq = None } ]
+
+let handle_queue h = h.h_queue
+let handle_registrant h = h.h_registrant
+
+(* ---- workspaces ------------------------------------------------------ *)
+
+let ws_of t id =
+  match Hashtbl.find_opt t.workspaces id with
+  | Some ws ->
+    ws.activity <- t.clock ();
+    ws
+  | None ->
+    let ws = { ops = []; activity = t.clock () } in
+    Hashtbl.add t.workspaces id ws;
+    ws
+
+let add_op t id op =
+  let ws = ws_of t id in
+  ws.ops <- op :: ws.ops
+
+(* ---- data manipulation ----------------------------------------------- *)
+
+let enqueue t id h ?tag ?(props = []) ?(priority = 0) payload =
+  let reg = reg_of t h in
+  if (get_queue t h.h_queue).stopped then raise (Stopped h.h_queue);
+  let eid = fresh_eid t in
+  let el = Element.make ~eid ~payload ~props ~priority ~enq_time:(now t) in
+  add_op t id { op_redo = REnq (h.h_queue, el); op_errq = None };
+  (match tag with
+  | Some tag when reg.r_stable ->
+    add_op t id
+      {
+        op_redo =
+          RSet_last
+            ( h.h_registrant,
+              h.h_queue,
+              Some { op_kind = `Enqueue; tag; op_eid = eid; element_copy = Some el }
+            );
+        op_errq = None;
+      }
+  | _ -> ());
+  eid
+
+let select_ready ?rank q filter =
+  match rank with
+  | None ->
+    (* queue order: first ready match wins *)
+    let found = ref None in
+    (try
+       Emap.iter
+         (fun _ el ->
+           if el.Element.status = Element.Ready && Filter.matches filter el
+           then begin
+             found := Some el;
+             raise Exit
+           end)
+         q.elems
+     with Exit -> ());
+    !found
+  | Some rank ->
+    (* content-based scheduling: highest rank among ready matches (paper
+       11: "highest dollar amount first") *)
+    Emap.fold
+      (fun _ el best ->
+        if el.Element.status = Element.Ready && Filter.matches filter el then begin
+          match best with
+          | Some (b, _) when b >= rank el -> best
+          | _ -> Some (rank el, el)
+        end
+        else best)
+      q.elems None
+    |> Option.map snd
+
+let take t id h ?tag ?errq q el =
+  el.Element.status <- Element.Deq_pending id;
+  add_op t id { op_redo = RDeq el.Element.eid; op_errq = errq };
+  let reg = reg_of t h in
+  (match tag with
+  | Some tag when reg.r_stable ->
+    add_op t id
+      {
+        op_redo =
+          RSet_last
+            ( h.h_registrant,
+              h.h_queue,
+              Some
+                {
+                  op_kind = `Dequeue;
+                  tag;
+                  op_eid = el.Element.eid;
+                  element_copy = Some el;
+                } );
+        op_errq = None;
+      }
+  | _ -> ());
+  ignore q;
+  el
+
+let with_lock_conflicts f =
+  try f () with
+  | Lock.Deadlock msg -> raise (Conflict ("deadlock: " ^ msg))
+  | Lock.Cancelled -> raise (Conflict "cancelled")
+
+let dequeue t id h ?tag ?(filter = Filter.True) ?rank ?error_queue wait =
+  ignore (reg_of t h);
+  let q = get_queue t h.h_queue in
+  if q.stopped then raise (Stopped h.h_queue);
+  if q.qattrs.strict_fifo then
+    with_lock_conflicts (fun () ->
+        Lock.acquire t.locks id ~key:("q:" ^ q.qname) Lock.X);
+  let deadline =
+    match wait with Timeout d -> Some (t.clock () +. d) | No_wait | Block -> None
+  in
+  let rec attempt () =
+    match select_ready ?rank q filter with
+    | Some el -> Some (take t id h ?tag ?errq:error_queue q el)
+    | None -> begin
+      match wait with
+      | No_wait -> None
+      | Block ->
+        Cond.wait q.nonempty;
+        attempt ()
+      | Timeout _ -> begin
+        match deadline with
+        | Some dl when t.clock () < dl ->
+          if Cond.wait_timeout q.nonempty (dl -. t.clock ()) then attempt ()
+          else None
+        | _ -> None
+      end
+    end
+  in
+  attempt ()
+
+let dequeue_set t id hs ?tag ?(filter = Filter.True) wait =
+  List.iter (fun h -> ignore (reg_of t h)) hs;
+  let queues = List.map (fun h -> (h, get_queue t h.h_queue)) hs in
+  let deadline =
+    match wait with Timeout d -> Some (t.clock () +. d) | No_wait | Block -> None
+  in
+  let rec attempt () =
+    let best =
+      List.fold_left
+        (fun acc (h, q) ->
+          match select_ready q filter with
+          | None -> acc
+          | Some el -> begin
+            match acc with
+            | Some (_, _, best_el)
+              when Element.key best_el <= Element.key el -> acc
+            | _ -> Some (h, q, el)
+          end)
+        None queues
+    in
+    match best with
+    | Some (h, q, el) -> Some (h, take t id h ?tag q el)
+    | None -> begin
+      let conds = List.map (fun (_, q) -> q.nonempty) queues in
+      match wait with
+      | No_wait -> None
+      | Block ->
+        ignore (Cond.wait_any conds);
+        attempt ()
+      | Timeout _ -> begin
+        match deadline with
+        | Some dl when t.clock () < dl ->
+          if Cond.wait_any ~timeout:(dl -. t.clock ()) conds then attempt ()
+          else attempt () (* deadline re-checked at loop head *)
+        | _ -> None
+      end
+    end
+  in
+  attempt ()
+
+let read t eid =
+  match Hashtbl.find_opt t.index eid with
+  | Some (_, el) -> Some el
+  | None -> None
+
+let read_last t h =
+  match (reg_of t h).r_last with
+  | Some { element_copy; _ } -> element_copy
+  | None -> None
+
+(* ---- commitment ------------------------------------------------------ *)
+
+let release_locks t id =
+  Lock.cancel_waits t.locks id;
+  Lock.release_all t.locks id
+
+let commit_one_phase t id =
+  match Hashtbl.find_opt t.workspaces id with
+  | None -> release_locks t id
+  | Some ws ->
+    let ops = List.rev ws.ops in
+    Hashtbl.remove t.workspaces id;
+    let stable = List.filter (fun op -> redo_is_stable t op.op_redo) ops in
+    if stable <> [] then
+      Wal.append_sync t.wal (encode_record k_one_phase (Some id) "" stable);
+    List.iter (fun op -> apply t op.op_redo) ops;
+    release_locks t id
+
+let prepare t id ~coordinator =
+  match Hashtbl.find_opt t.workspaces id with
+  | None -> true
+  | Some ws ->
+    let ops = List.rev ws.ops in
+    Hashtbl.remove t.workspaces id;
+    let stable = List.filter (fun op -> redo_is_stable t op.op_redo) ops in
+    Wal.append_sync t.wal (encode_record k_prepare (Some id) coordinator stable);
+    Hashtbl.replace t.prepared id { p_coord = coordinator; p_ops = ops };
+    true
+
+let commit_prepared t id =
+  match Hashtbl.find_opt t.prepared id with
+  | None -> release_locks t id
+  | Some p ->
+    Wal.append_sync t.wal (encode_record k_commit (Some id) "" []);
+    List.iter (fun op -> apply t op.op_redo) p.p_ops;
+    Hashtbl.remove t.prepared id;
+    release_locks t id
+
+(* Returning a dequeued element to its queue after an abort: bump its retry
+   count durably; if the limit is hit, move it to the error queue instead
+   (§4.2). *)
+let restore_element t op =
+  match op.op_redo with
+  | RDeq eid -> begin
+    match Hashtbl.find_opt t.index eid with
+    | None -> []
+    | Some (qn, el) ->
+      let q = get_queue t qn in
+      el.Element.status <- Element.Ready;
+      Cond.signal q.nonempty;
+      let bump = { op_redo = RBump eid; op_errq = None } in
+      if el.Element.delivery_count + 1 >= q.qattrs.retry_limit then begin
+        let errq =
+          match op.op_errq with Some e -> e | None -> default_error_queue q
+        in
+        let code =
+          Printf.sprintf "aborted %d times" (el.Element.delivery_count + 1)
+        in
+        [ bump; { op_redo = RMove_error (eid, errq, code); op_errq = None } ]
+      end
+      else [ bump ]
+  end
+  | RCreate _ | REnq _ | RKill _ | RBump _ | RMove_error _ | RRegister _
+  | RDeregister _ | RSet_last _ | RIncarnation | RDestroy _ | RSet_stopped _
+  | RAlter _ ->
+    []
+
+let abort t id =
+  let restore ops =
+    let fixups = List.concat_map (restore_element t) ops in
+    if fixups <> [] then log_now t fixups
+  in
+  (match Hashtbl.find_opt t.workspaces id with
+  | Some ws ->
+    Hashtbl.remove t.workspaces id;
+    restore (List.rev ws.ops)
+  | None -> ());
+  (match Hashtbl.find_opt t.prepared id with
+  | Some p ->
+    Wal.append_sync t.wal (encode_record k_abort (Some id) "" []);
+    Hashtbl.remove t.prepared id;
+    restore p.p_ops
+  | None -> ());
+  release_locks t id
+
+let participant t =
+  {
+    Tm.part_name = t.qm_name;
+    p_prepare = (fun id ~coordinator -> prepare t id ~coordinator);
+    p_commit =
+      (fun id ->
+        commit_prepared t id;
+        true);
+    p_abort = (fun id -> abort t id);
+    p_one_phase =
+      (fun id ->
+        commit_one_phase t id;
+        true);
+    p_has_work =
+      (fun id -> Hashtbl.mem t.workspaces id || Hashtbl.mem t.prepared id);
+    p_is_local = true;
+  }
+
+let auto_commit t f =
+  t.auto_n <- t.auto_n + 1;
+  let id =
+    Txid.make ~origin:(t.qm_name ^ "!auto") ~inc:t.incarnations ~n:t.auto_n
+  in
+  match f id with
+  | v ->
+    commit_one_phase t id;
+    v
+  | exception e ->
+    abort t id;
+    raise e
+
+let abort_stale t ~older_than =
+  let cutoff = t.clock () -. older_than in
+  let stale =
+    Hashtbl.fold
+      (fun id ws acc -> if ws.activity < cutoff then id :: acc else acc)
+      t.workspaces []
+  in
+  List.iter
+    (fun id ->
+      abort t id;
+      t.abort_cb id)
+    stale;
+  List.length stale
+
+let kill_element t eid =
+  match Hashtbl.find_opt t.index eid with
+  | None -> false
+  | Some (_, el) ->
+    (match el.Element.status with
+    | Element.Deq_pending id -> t.abort_cb id
+    | Element.Ready -> ());
+    (* The abort may have moved it to an error queue; chase the eid. *)
+    if Hashtbl.mem t.index eid then begin
+      log_now t [ { op_redo = RKill eid; op_errq = None } ];
+      true
+    end
+    else false
+
+let kill_where t filter =
+  let victims =
+    Hashtbl.fold
+      (fun eid (_, el) acc -> if Filter.matches filter el then eid :: acc else acc)
+      t.index []
+  in
+  List.fold_left
+    (fun n eid -> if kill_element t eid then n + 1 else n)
+    0 victims
+
+(* ---- callbacks / maintenance ---------------------------------------- *)
+
+let in_doubt t =
+  Hashtbl.fold (fun id p acc -> (id, p.p_coord) :: acc) t.prepared []
+
+let set_abort_callback t f = t.abort_cb <- f
+let set_alert_callback t f = t.alert_cb <- f
+let set_clock t f = t.clock <- f
+
+let checkpoint t = Wal.checkpoint t.wal (encode_snapshot t)
+
+let maybe_checkpoint t ~every =
+  if Wal.records_since_checkpoint t.wal >= every then checkpoint t
+
+let live_log_bytes t = Wal.live_log_bytes t.wal
+
+let counts t qn =
+  let q = get_queue t qn in
+  (q.n_enq, q.n_deq)
+
+let elements t qn =
+  let q = get_queue t qn in
+  Emap.fold (fun _ el acc -> el :: acc) q.elems [] |> List.rev

@@ -1,0 +1,249 @@
+(** The recoverable queue manager (paper §4, §10, §11).
+
+    A QM is "a type of database system" storing queue elements, and "a type
+    of communication system" decoupling clients from servers. This module
+    implements the paper's full queue abstraction:
+
+    - {b Data manipulation} (fig. 3): [enqueue], [dequeue], [read], all
+      usable inside transactions (via the node TM) or standalone
+      (auto-commit). Dequeue supports priorities, FIFO order, content-based
+      filters, blocking with notify semantics (§10), and skip-locked scans
+      — concurrent dequeuers are not blocked by uncommitted dequeues, at
+      the cost of strict FIFO order (§10). A strict-FIFO queue mode exists
+      for comparison.
+    - {b Error queues} (§4.2): an element dequeued by [n] successively
+      aborting transactions is moved, marked with an abort code, to an
+      error queue, preventing cyclic restart of a poisonous request. The
+      retry counter is durable.
+    - {b Persistent registration with operation tags} (§4.3): the QM
+      durably remembers, per (registrant, queue), the kind/tag/eid and
+      element copy of the last tagged operation — updated atomically with
+      the operation itself — and returns them on re-registration. This is
+      the paper's mechanism for client checkpointing and resynchronization.
+    - {b Kill_element} (§7): delete a waiting element; if an uncommitted
+      transaction holds it, that transaction is aborted first (via the
+      abort callback installed by the hosting node).
+    - {b Queue attributes} (§9-§11): stable or volatile durability, retry
+      limits, error-queue designation, redirection to another queue, alert
+      thresholds, and strict-FIFO mode.
+    - {b Triggers} (§6): a deterministic rule that fires when a property
+      group in a queue completes (all replies of a fork arrived) and
+      replaces the group with new elements — the fork/join join-side.
+
+    Durability follows the deferred-update discipline of {!Rrq_txn.Rm}, with
+    one QM-specific twist: updates to volatile queues are applied at commit
+    but never logged, so they cost no forced writes and vanish on crash. *)
+
+type t
+
+type wait = No_wait | Block | Timeout of float
+(** Empty-queue behavior of [dequeue]: return [None] immediately, block
+    until an element arrives ("notify lock", §10), or block with a bound. *)
+
+type durability = Stable | Volatile
+
+type attrs = {
+  durability : durability;
+  retry_limit : int;
+      (** Abort count after which an element moves to the error queue. *)
+  error_queue : string option;
+      (** Default error queue; [None] means ["<name>.err"]. *)
+  redirect_to : string option;
+      (** If set, committed enqueues land in this queue instead (§9). *)
+  alert_threshold : int option;
+      (** Depth at which the alert callback fires (§9 / CICS task start). *)
+  strict_fifo : bool;
+      (** Dequeuers serialize on a queue lock held to commit — the strict
+          ordering the paper argues against (§10); kept as a baseline. *)
+}
+
+val default_attrs : attrs
+(** Stable, retry limit 3, default error queue, no redirect, no alert,
+    skip-locked (non-strict). *)
+
+type trigger = {
+  on_queue : string;  (** Queue whose arrivals are inspected. *)
+  group_prop : string;  (** Property that identifies the group. *)
+  complete : Element.t list -> bool;
+      (** Whether the group (all current members) is complete. Must be
+          deterministic — it re-runs during recovery replay. *)
+  make : Element.t list -> (string * string * (string * string) list) list;
+      (** Replacement elements: (target queue, payload, props). Must be
+          deterministic. *)
+}
+
+type last_op = {
+  op_kind : [ `Enqueue | `Dequeue ];
+  tag : string;
+  op_eid : int64;
+  element_copy : Element.t option;
+      (** Copy of the element operated on, retained even after the element
+          leaves the queue (what [Rereceive] reads). *)
+}
+
+type handle
+(** A registrant's binding to one queue. *)
+
+exception No_such_queue of string
+exception Not_registered of string
+
+exception Conflict of string
+(** A strict-FIFO queue lock deadlocked, timed out or was cancelled: abort
+    the surrounding transaction and retry. *)
+
+(** {1 Opening and DDL} *)
+
+val open_qm : ?triggers:trigger list -> Rrq_storage.Disk.t -> name:string -> t
+(** Open (recovering) the repository called [name] on [disk]. Triggers are
+    code configuration and must be re-supplied identically on every open. *)
+
+val name : t -> string
+
+val create_queue : t -> ?attrs:attrs -> string -> unit
+(** Durably create a queue (no-op if it exists, so node setup code can be
+    re-run after recovery). *)
+
+val alter_queue : t -> string -> attrs -> unit
+(** Durably replace a queue's attributes (fig. 3 DDL: "modify a queue") —
+    retry limit, error queue, redirection, alert threshold, strict mode.
+    The durability class cannot change ([Invalid_argument]): stable
+    contents cannot be retroactively declared volatile or vice versa.
+    @raise No_such_queue *)
+
+val destroy_queue : t -> string -> unit
+(** Durably destroy a queue and its contents (fig. 3 DDL). Registrations on
+    the queue are destroyed with it.
+    @raise No_such_queue *)
+
+val stop_queue : t -> string -> unit
+(** Durably stop a queue (fig. 3 DDL): enqueues and dequeues raise
+    {!Stopped} until {!start_queue}; existing elements are retained.
+    Already-buffered transactional operations still commit. *)
+
+val start_queue : t -> string -> unit
+
+val queue_stopped : t -> string -> bool
+
+exception Stopped of string
+(** Operation attempted on a stopped queue. *)
+
+val queue_exists : t -> string -> bool
+val queue_names : t -> string list
+val depth : t -> string -> int
+(** Number of elements present (ready or pending-dequeue).
+    @raise No_such_queue *)
+
+(** {1 Registration (fig. 3, §4.3)} *)
+
+val register :
+  t -> queue:string -> registrant:string -> stable:bool ->
+  handle * last_op option
+(** Durably associate [registrant] with the queue and return the last
+    tagged operation if this registrant was already registered (recovery
+    path). With [stable:false] no last-op info is maintained. *)
+
+val deregister : t -> handle -> unit
+(** Durably destroy the registration and its saved state. *)
+
+val handle_queue : handle -> string
+val handle_registrant : handle -> string
+
+(** {1 Data manipulation (fig. 3)}
+
+    Operations taking a {!Rrq_txn.Txid.t} join that transaction's workspace;
+    the effects become visible at commit via {!participant}. *)
+
+val enqueue :
+  t -> Rrq_txn.Txid.t -> handle -> ?tag:string ->
+  ?props:(string * string) list -> ?priority:int -> string -> int64
+(** Buffer an enqueue of a payload; returns the new element's eid. [tag]
+    atomically updates the registration's last-op record (stable
+    registrants only). *)
+
+val dequeue :
+  t -> Rrq_txn.Txid.t -> handle -> ?tag:string -> ?filter:Filter.t ->
+  ?rank:(Element.t -> float) -> ?error_queue:string -> wait ->
+  Element.t option
+(** Remove the best ready element matching the filter: by default in queue
+    order (priority desc, then FIFO); with [rank], the ready match with the
+    highest rank (content-based scheduling, §11 — "highest dollar amount
+    first"). The element is immediately invisible to other dequeuers; it
+    returns (with its retry count bumped, durably) if the transaction
+    aborts. [error_queue] overrides the queue's attribute for this call. *)
+
+val dequeue_set :
+  t -> Rrq_txn.Txid.t -> handle list -> ?tag:string -> ?filter:Filter.t ->
+  wait -> (handle * Element.t) option
+(** Dequeue the globally best element across several queues (queue sets,
+    §9). The tag update, if any, applies to the handle that won. *)
+
+val read : t -> int64 -> Element.t option
+(** Read an element's contents by eid without modifying it. Elements locked
+    by uncommitted dequeues are readable (§10); uncommitted enqueues are
+    not visible. *)
+
+val read_last : t -> handle -> Element.t option
+(** The registration's saved element copy (Rereceive support): available
+    even after the element was dequeued — possibly by someone else. *)
+
+val kill_element : t -> int64 -> bool
+(** Cancel support (§7): durably delete the element. If an uncommitted
+    transaction dequeued it, that transaction is aborted through the abort
+    callback first. Returns whether the element was deleted. *)
+
+val kill_where : t -> Filter.t -> int
+(** Kill every element (in any queue of the repository) matching the
+    filter; returns how many were deleted. Elements keep their identifying
+    properties as they move between queues (§11's element-identity
+    discussion), so a request can be cancelled by its rid/client
+    properties wherever forwarding or pipelining has taken it. *)
+
+(** {1 Transaction integration} *)
+
+val participant : t -> Rrq_txn.Tm.participant
+(** Enlist the QM in a transaction. *)
+
+val auto_commit : t -> (Rrq_txn.Txid.t -> 'a) -> 'a
+(** Run one or more QM operations as a standalone atomic action: effects
+    are durable and visible when the call returns (the paper's
+    outside-a-transaction mode, visible "before the operation returns").
+    Uses an internal transaction id. *)
+
+val abort_stale : t -> older_than:float -> int
+(** Unilaterally abort active (unprepared) workspaces idle longer than the
+    bound — the QM-side timeout that frees elements locked by a dequeuer
+    whose node died (prepared transactions are never touched). Returns how
+    many were aborted. *)
+
+(** {1 Callbacks installed by the hosting node} *)
+
+val in_doubt : t -> (Rrq_txn.Txid.t * string) list
+(** Prepared-but-unresolved transactions and their coordinators, for the
+    hosting node's resolver daemon. *)
+
+val set_abort_callback : t -> (Rrq_txn.Txid.t -> unit) -> unit
+(** How [kill_element] aborts the transaction holding an element (normally
+    the node TM's force-abort). *)
+
+val set_alert_callback : t -> (string -> int -> unit) -> unit
+(** Fired when a queue's depth reaches its alert threshold (queue name,
+    depth). *)
+
+val set_clock : t -> (unit -> float) -> unit
+(** Source of enqueue timestamps and staleness decisions; the hosting node
+    wires this to the simulator clock. Defaults to an internal sequence
+    that still yields correct FIFO ordering. *)
+
+(** {1 Maintenance and introspection} *)
+
+val checkpoint : t -> unit
+val maybe_checkpoint : t -> every:int -> unit
+val live_log_bytes : t -> int
+
+val counts : t -> string -> int * int
+(** (total committed enqueues, total committed dequeues) for a queue in
+    this incarnation. *)
+
+val elements : t -> string -> Element.t list
+(** Snapshot of a queue's current elements in dequeue order (tests and
+    audits). *)

@@ -1,0 +1,38 @@
+type t = { mutable queue : bool Sched.waker list }
+
+let create () = { queue = [] }
+
+let wait t =
+  let ok = Sched.suspend (fun _ w -> t.queue <- t.queue @ [ w ]) in
+  assert ok
+
+let wait_timeout t d =
+  Sched.suspend (fun sched w ->
+      t.queue <- t.queue @ [ w ];
+      Sched.at sched (Sched.now sched +. d) (fun () ->
+          ignore (Sched.wake w false)))
+
+let wait_any ?timeout conds =
+  Sched.suspend (fun sched w ->
+      (* The same one-shot waker sits in every queue (and on the timer);
+         whichever fires first wins, the rest find it dead and skip it. *)
+      List.iter (fun c -> c.queue <- c.queue @ [ w ]) conds;
+      match timeout with
+      | None -> ()
+      | Some d ->
+        Sched.at sched (Sched.now sched +. d) (fun () ->
+            ignore (Sched.wake w false)))
+
+let rec signal t =
+  match t.queue with
+  | [] -> ()
+  | w :: rest ->
+    t.queue <- rest;
+    if not (Sched.wake w true) then signal t
+
+let broadcast t =
+  let q = t.queue in
+  t.queue <- [];
+  List.iter (fun w -> ignore (Sched.wake w true)) q
+
+let waiters t = List.length (List.filter Sched.waker_live t.queue)

@@ -1,0 +1,216 @@
+type fiber = {
+  fid : int;
+  name : string;
+  group : string option;
+  mutable live : bool;
+}
+
+(* Binary min-heap of timers ordered by (time, sequence). *)
+module Heap = struct
+  type entry = { time : float; seq : int; bg : bool; thunk : unit -> unit }
+
+  type h = { mutable arr : entry array; mutable len : int }
+
+  let dummy = { time = 0.0; seq = 0; bg = false; thunk = (fun () -> ()) }
+  let create () = { arr = Array.make 64 dummy; len = 0 }
+  let is_empty h = h.len = 0
+  let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+  let push h e =
+    if h.len = Array.length h.arr then begin
+      let bigger = Array.make (2 * h.len) dummy in
+      Array.blit h.arr 0 bigger 0 h.len;
+      h.arr <- bigger
+    end;
+    h.arr.(h.len) <- e;
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while !i > 0 && less h.arr.(!i) h.arr.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.arr.(p) in
+      h.arr.(p) <- h.arr.(!i);
+      h.arr.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    assert (h.len > 0);
+    let top = h.arr.(0) in
+    h.len <- h.len - 1;
+    h.arr.(0) <- h.arr.(h.len);
+    h.arr.(h.len) <- dummy;
+    let i = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.len && less h.arr.(l) h.arr.(!smallest) then smallest := l;
+      if r < h.len && less h.arr.(r) h.arr.(!smallest) then smallest := r;
+      if !smallest = !i then continue_ := false
+      else begin
+        let tmp = h.arr.(!smallest) in
+        h.arr.(!smallest) <- h.arr.(!i);
+        h.arr.(!i) <- tmp;
+        i := !smallest
+      end
+    done;
+    top
+
+  let peek_time h =
+    assert (h.len > 0);
+    h.arr.(0).time
+end
+
+type t = {
+  mutable vnow : float;
+  ready : (unit -> unit) Queue.t;
+  timers : Heap.h;
+  mutable fg_timers : int; (* non-background timers still in the heap *)
+  mutable seq : int;
+  mutable next_fid : int;
+  mutable fiber_table : fiber list;
+  mutable errors : (string * exn) list;
+}
+
+let create () =
+  {
+    vnow = 0.0;
+    ready = Queue.create ();
+    timers = Heap.create ();
+    fg_timers = 0;
+    seq = 0;
+    next_fid = 0;
+    fiber_table = [];
+    errors = [];
+  }
+
+let now t = t.vnow
+
+let at ?(background = false) t time thunk =
+  t.seq <- t.seq + 1;
+  if not background then t.fg_timers <- t.fg_timers + 1;
+  Heap.push t.timers
+    { time = Float.max time t.vnow; seq = t.seq; bg = background; thunk }
+
+let push_ready t thunk = Queue.push thunk t.ready
+
+type 'a waker = {
+  mutable used : bool;
+  wfiber : fiber;
+  wk : ('a, unit) Effect.Deep.continuation;
+  wsched : t;
+}
+
+let waker_live w = (not w.used) && w.wfiber.live
+
+let wake w v =
+  if w.used then false
+  else begin
+    w.used <- true;
+    if w.wfiber.live then begin
+      push_ready w.wsched (fun () ->
+          if w.wfiber.live then Effect.Deep.continue w.wk v);
+      true
+    end
+    else false
+  end
+
+type _ Effect.t +=
+  | Suspend : (t -> 'a waker -> unit) -> 'a Effect.t
+  | Fork : (string option * (unit -> unit)) -> fiber Effect.t
+  | Clock : float Effect.t
+  | Self : fiber Effect.t
+
+let clock () = Effect.perform Clock
+let self () = Effect.perform Self
+let suspend register = Effect.perform (Suspend register)
+
+let sleep d =
+  suspend (fun sched w -> at sched (sched.vnow +. d) (fun () -> ignore (wake w ())))
+
+(* Background sleep: daemons (janitors, resolvers, redelivery retries) use
+   this so an otherwise-quiescent simulation can terminate. *)
+let sleep_background d =
+  suspend (fun sched w ->
+      at ~background:true sched (sched.vnow +. d) (fun () -> ignore (wake w ())))
+
+let yield () =
+  suspend (fun sched w -> push_ready sched (fun () -> ignore (wake w ())))
+
+let rec spawn t ?group ~name body =
+  t.next_fid <- t.next_fid + 1;
+  let fib = { fid = t.next_fid; name; group; live = true } in
+  t.fiber_table <- fib :: t.fiber_table;
+  push_ready t (fun () -> if fib.live then start t fib body);
+  fib
+
+and start t fib body =
+  let open Effect.Deep in
+  match_with body ()
+    {
+      retc = (fun () -> fib.live <- false);
+      exnc =
+        (fun e ->
+          fib.live <- false;
+          t.errors <- (fib.name, e) :: t.errors);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend register ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                let w = { used = false; wfiber = fib; wk = k; wsched = t } in
+                register t w)
+          | Fork (name, child_body) ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                let child_name =
+                  match name with
+                  | Some n -> n
+                  | None -> fib.name ^ "/" ^ string_of_int (t.next_fid + 1)
+                in
+                let child = spawn t ?group:fib.group ~name:child_name child_body in
+                continue k child)
+          | Clock -> Some (fun (k : (a, _) continuation) -> continue k t.vnow)
+          | Self -> Some (fun (k : (a, _) continuation) -> continue k fib)
+          | _ -> None);
+    }
+
+let fork ?name body = Effect.perform (Fork (name, body))
+
+let kill _t fib = fib.live <- false
+
+let kill_group t group =
+  List.iter
+    (fun fib -> if fib.live && fib.group = Some group then fib.live <- false)
+    t.fiber_table
+
+let alive fib = fib.live
+let fiber_name fib = fib.name
+let fiber_group fib = fib.group
+
+let live_fibers t =
+  List.rev_map (fun f -> f.name) (List.filter (fun f -> f.live) t.fiber_table)
+
+let failures t = List.rev t.errors
+
+let run ?(max_steps = 50_000_000) t =
+  let steps = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    if not (Queue.is_empty t.ready) then begin
+      incr steps;
+      if !steps > max_steps then failwith "Sched.run: step limit exceeded (livelock?)";
+      let thunk = Queue.pop t.ready in
+      thunk ()
+    end
+    else if (not (Heap.is_empty t.timers)) && t.fg_timers > 0 then begin
+      t.vnow <- Float.max t.vnow (Heap.peek_time t.timers);
+      let e = Heap.pop t.timers in
+      if not e.Heap.bg then t.fg_timers <- t.fg_timers - 1;
+      incr steps;
+      if !steps > max_steps then failwith "Sched.run: step limit exceeded (livelock?)";
+      e.Heap.thunk ()
+    end
+    else continue_ := false
+  done

@@ -1,0 +1,107 @@
+(** Deterministic discrete-event scheduler with cooperative fibers.
+
+    Fibers are lightweight processes implemented with OCaml effects. All
+    blocking is explicit ([sleep], or a [suspend]-built primitive such as
+    {!Chan} and {!Ivar}); there is no preemption, so a run is a deterministic
+    function of the program and the RNG seeds it uses.
+
+    Time is virtual: it advances only when every runnable fiber has blocked,
+    jumping to the earliest pending timer. This lets failure experiments
+    cover hours of simulated traffic in milliseconds of real time.
+
+    Fibers belong to a group (we use one group per simulated node).
+    {!kill_group} models a node crash: every fiber of the group is marked
+    dead and will simply never run again — mirroring a process that
+    disappears mid-instruction. Suspended continuations of dead fibers are
+    dropped, so fiber code must not rely on [Fun.protect]-style cleanup for
+    crash correctness (crash-safety must come from the WAL, as in a real
+    system). *)
+
+type t
+(** A scheduler instance. *)
+
+type fiber
+(** Handle to a spawned fiber. *)
+
+val create : unit -> t
+(** Fresh scheduler at virtual time 0.0. *)
+
+val now : t -> float
+(** Current virtual time. *)
+
+val spawn : t -> ?group:string -> name:string -> (unit -> unit) -> fiber
+(** Register a fiber to start at the current virtual time. Usable both from
+    outside [run] (to set up the initial processes) and from within a fiber
+    (though {!fork} is more convenient there). *)
+
+val run : ?max_steps:int -> t -> unit
+(** Execute fibers until no fiber is runnable and no timer is pending.
+    @raise Failure if more than [max_steps] events execute (default 50M),
+    which indicates a livelock in the simulated program. *)
+
+val kill : t -> fiber -> unit
+(** Mark one fiber dead. It never runs again. *)
+
+val kill_group : t -> string -> unit
+(** Kill every live fiber in the group (node crash). *)
+
+val alive : fiber -> bool
+(** Whether the fiber has neither finished nor been killed. *)
+
+val fiber_name : fiber -> string
+val fiber_group : fiber -> string option
+
+val live_fibers : t -> string list
+(** Names of fibers still alive when [run] returned — useful to diagnose
+    simulated deadlocks in tests. *)
+
+val failures : t -> (string * exn) list
+(** Fibers that died with an unhandled exception, with that exception.
+    Tests assert this is empty. *)
+
+val at : ?background:bool -> t -> float -> (unit -> unit) -> unit
+(** [at t time f] runs the callback at absolute virtual [time] (or now, if
+    the time has passed). The callback runs in scheduler context, not in a
+    fiber: it must not block; typically it just wakes a waker or spawns.
+    Background timers (default false) do not keep the simulation alive:
+    {!run} stops when only background timers remain. *)
+
+(** {1 Primitives callable only from inside a fiber} *)
+
+val clock : unit -> float
+(** Current virtual time. *)
+
+val sleep : float -> unit
+(** Block the calling fiber for a virtual duration. *)
+
+val sleep_background : float -> unit
+(** Like {!sleep}, but does not keep the simulation alive: periodic daemons
+    (janitors, resolvers, redelivery retries) use this so {!run} can end
+    when all real work is done. *)
+
+val yield : unit -> unit
+(** Reschedule the calling fiber behind the current ready queue. *)
+
+val fork : ?name:string -> (unit -> unit) -> fiber
+(** Spawn a fiber in the caller's group. *)
+
+val self : unit -> fiber
+(** The calling fiber's handle. *)
+
+(** {1 Building blocking primitives} *)
+
+type 'a waker
+(** One-shot resumption capability for a suspended fiber. *)
+
+val wake : 'a waker -> 'a -> bool
+(** Resume the suspended fiber with a value. Returns [false] if the waker
+    was already used or the fiber has been killed — in which case the value
+    is {e not} delivered (the caller may hand it to another waiter). *)
+
+val waker_live : 'a waker -> bool
+(** Whether [wake] could still deliver (unused and fiber alive). *)
+
+val suspend : (t -> 'a waker -> unit) -> 'a
+(** Block the calling fiber; the registration callback stores the waker
+    wherever the wake-up will come from (a queue of waiters, a timer via
+    {!at}, ...). Returns when some agent calls [wake]. *)

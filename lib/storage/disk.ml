@@ -1,0 +1,145 @@
+type file_state = {
+  fname : string;
+  mutable durable : Buffer.t;
+  mutable pending : Buffer.t;
+  owner : t;
+}
+
+and t = {
+  dname : string;
+  torn_writes : bool;
+  rng : Rrq_util.Rng.t option;
+  files : (string, file_state) Hashtbl.t;
+  mutable last_appended : string option;
+  mutable synced_bytes : int;
+  mutable sync_count : int;
+  mutable kill_in : int option; (* crash-point injection countdown *)
+  mutable dead : bool;
+}
+
+type file = file_state
+
+let create ?(torn_writes = false) ?rng dname =
+  {
+    dname;
+    torn_writes;
+    rng;
+    files = Hashtbl.create 16;
+    last_appended = None;
+    synced_bytes = 0;
+    sync_count = 0;
+    kill_in = None;
+    dead = false;
+  }
+
+let name t = t.dname
+
+let open_file t fname =
+  match Hashtbl.find_opt t.files fname with
+  | Some f -> f
+  | None ->
+    let f =
+      { fname; durable = Buffer.create 256; pending = Buffer.create 256; owner = t }
+    in
+    Hashtbl.add t.files fname f;
+    f
+
+(* Shared by the public crash and the injected crash-point trigger. *)
+let crash_now t =
+  let torn_file =
+    match (t.torn_writes, t.rng, t.last_appended) with
+    | true, Some rng, Some fname when Rrq_util.Rng.bool rng -> Some fname
+    | _ -> None
+  in
+  Hashtbl.iter
+    (fun fname f ->
+      (match (torn_file, t.rng) with
+      | Some tf, Some rng when tf = fname && Buffer.length f.pending > 0 ->
+        (* Keep a random prefix of the unsynced tail: a torn block. *)
+        let keep = Rrq_util.Rng.int rng (Buffer.length f.pending + 1) in
+        let prefix = String.sub (Buffer.contents f.pending) 0 keep in
+        Buffer.add_string f.durable prefix
+      | _ -> ());
+      Buffer.clear f.pending)
+    t.files;
+  t.last_appended <- None
+
+(* The crash-point countdown: returns false when the pending durability
+   action must be suppressed (the disk just died, or died earlier). *)
+let allow_durability t =
+  if t.dead then false
+  else begin
+    match t.kill_in with
+    | Some n when n <= 1 ->
+      t.kill_in <- None;
+      t.dead <- true;
+      crash_now t;
+      false
+    | Some n ->
+      t.kill_in <- Some (n - 1);
+      true
+    | None -> true
+  end
+
+let append f bytes =
+  if not f.owner.dead then begin
+    Buffer.add_string f.pending bytes;
+    f.owner.last_appended <- Some f.fname
+  end
+
+let sync f =
+  let t = f.owner in
+  if allow_durability t then begin
+    let n = Buffer.length f.pending in
+    if n > 0 then begin
+      Buffer.add_buffer f.durable f.pending;
+      Buffer.clear f.pending;
+      t.synced_bytes <- t.synced_bytes + n
+    end;
+    t.sync_count <- t.sync_count + 1
+  end
+
+let sync_all t = Hashtbl.iter (fun _ f -> sync f) t.files
+
+let read f = Buffer.contents f.durable ^ Buffer.contents f.pending
+let read_durable f = Buffer.contents f.durable
+let size f = Buffer.length f.durable + Buffer.length f.pending
+let durable_size f = Buffer.length f.durable
+
+let replace_atomic t fname contents =
+  if allow_durability t then begin
+    let f = open_file t fname in
+    let fresh = Buffer.create (String.length contents) in
+    Buffer.add_string fresh contents;
+    f.durable <- fresh;
+    Buffer.clear f.pending;
+    t.synced_bytes <- t.synced_bytes + String.length contents;
+    t.sync_count <- t.sync_count + 1
+  end
+
+let read_file t fname =
+  match Hashtbl.find_opt t.files fname with
+  | None -> None
+  | Some f -> Some (read f)
+
+let delete t fname = if not t.dead then Hashtbl.remove t.files fname
+let exists t fname = Hashtbl.mem t.files fname
+
+let list_files t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.files [] |> List.sort compare
+
+let crash t = crash_now t
+
+let kill_after_syncs t n = t.kill_in <- Some n
+let revive t =
+  t.dead <- false;
+  t.kill_in <- None
+
+let is_dead t = t.dead
+
+let synced_bytes t = t.synced_bytes
+let sync_count t = t.sync_count
+
+let reset_counters t =
+  t.synced_bytes <- 0;
+  t.sync_count <- 0

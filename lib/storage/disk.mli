@@ -1,0 +1,89 @@
+(** Simulated crash-consistent stable storage.
+
+    A disk holds named append-only files plus atomically-replaceable files
+    (used for checkpoints). Appended bytes sit in a volatile buffer until
+    [sync]; {!crash} discards everything unsynced. With [torn_writes]
+    enabled, a crash may instead retain a prefix of the unsynced tail of the
+    file most recently appended to — modeling a partially flushed block —
+    which the WAL detects via per-record checksums.
+
+    This is the substitution for real disks: it preserves the property the
+    paper's recovery arguments depend on, namely that exactly the
+    force-written data survives a failure. *)
+
+type t
+(** A disk (one per simulated node). *)
+
+type file
+(** Handle to an append-only file on some disk. *)
+
+val create : ?torn_writes:bool -> ?rng:Rrq_util.Rng.t -> string -> t
+(** Disk named [name] (for diagnostics). [torn_writes] defaults to false. *)
+
+val name : t -> string
+
+val open_file : t -> string -> file
+(** Open (creating if absent) an append-only file. Contents persist across
+    re-opens; re-opening returns a handle to the same state. *)
+
+val append : file -> string -> unit
+(** Buffer bytes at the end of the file (volatile until [sync]). *)
+
+val sync : file -> unit
+(** Force all buffered bytes of this file to durable storage. *)
+
+val sync_all : t -> unit
+(** [sync] every file on the disk. *)
+
+val read : file -> string
+(** Contents including unsynced bytes (what a live process reads back). *)
+
+val read_durable : file -> string
+(** Contents that would survive a crash right now. *)
+
+val size : file -> int
+val durable_size : file -> int
+
+val replace_atomic : t -> string -> string -> unit
+(** Durably replace the full contents of a (possibly new) file, atomically —
+    the write-temp-then-rename idiom used for checkpoints. Counts as one
+    sync. *)
+
+val read_file : t -> string -> string option
+(** Durable-plus-buffered contents of a named file, if it exists. *)
+
+val delete : t -> string -> unit
+(** Durably remove a file (log-segment garbage collection). *)
+
+val exists : t -> string -> bool
+val list_files : t -> string list
+
+val crash : t -> unit
+(** Drop all unsynced bytes (or keep a torn prefix, see above). Open handles
+    remain usable — they model re-opened files after restart. *)
+
+(** {1 Crash-point injection} *)
+
+val kill_after_syncs : t -> int -> unit
+(** Arm a crash trigger: after [n] further sync operations are {e about} to
+    happen, the disk freezes — the triggering sync does not persist, all
+    later writes and syncs are silently ignored (they never become
+    durable), and durable contents stay exactly as they were. Used by the
+    crash-point sweep tests to stop the world at every possible durability
+    boundary. *)
+
+val revive : t -> unit
+(** Clear the dead state (the "replacement hardware" for the next
+    incarnation); durable contents are untouched. *)
+
+val is_dead : t -> bool
+
+(** {1 Accounting} *)
+
+val synced_bytes : t -> int
+(** Total bytes made durable so far. *)
+
+val sync_count : t -> int
+(** Number of sync operations (incl. atomic replaces). *)
+
+val reset_counters : t -> unit

@@ -1,0 +1,282 @@
+module Codec = Rrq_util.Codec
+module Wal = Rrq_wal.Wal
+module Sched = Rrq_sim.Sched
+
+type outcome = Committed | Aborted
+
+type participant = {
+  part_name : string;
+  p_prepare : Txid.t -> coordinator:string -> bool;
+  p_commit : Txid.t -> bool;
+  p_abort : Txid.t -> unit;
+  p_one_phase : Txid.t -> bool;
+  p_has_work : Txid.t -> bool;
+  p_is_local : bool;
+}
+
+type status = Active | Finished of outcome
+
+type txn = {
+  id : Txid.t;
+  mutable participants : participant list; (* reverse join order *)
+  mutable status : status;
+  mutable commit_hooks : (unit -> unit) list;
+  mutable abort_hooks : (unit -> unit) list;
+}
+
+type t = {
+  tm_name : string;
+  wal : Wal.t;
+  inc : int;
+  mutable next_n : int;
+  (* Commit decisions logged but not yet acknowledged by every participant:
+     txid -> unacked participant names. *)
+  pending : (Txid.t, string list ref) Hashtbl.t;
+  (* Transactions currently inside the voting phase (decision not yet
+     logged): queries about these must answer [`Pending]. *)
+  deciding : (Txid.t, unit) Hashtbl.t;
+  (* Live transaction handles, for force_abort. *)
+  live : (Txid.t, txn) Hashtbl.t;
+  mutable resolver : string -> participant option;
+  mutable n_committed : int;
+  mutable n_aborted : int;
+}
+
+(* Log record kinds. *)
+let k_incarnation = 1
+let k_decision = 2
+let k_end = 3
+
+let encode_incarnation () =
+  let e = Codec.encoder () in
+  Codec.u8 e k_incarnation;
+  Codec.to_string e
+
+let encode_decision id parts =
+  let e = Codec.encoder () in
+  Codec.u8 e k_decision;
+  Txid.encode e id;
+  Codec.list Codec.string e parts;
+  Codec.to_string e
+
+let encode_end id =
+  let e = Codec.encoder () in
+  Codec.u8 e k_end;
+  Txid.encode e id;
+  Codec.to_string e
+
+let open_tm disk ~name:tm_name =
+  let wal, recovered = Wal.open_log disk ~name:(tm_name ^ ".tmlog") in
+  let pending = Hashtbl.create 8 in
+  let inc = ref 0 in
+  List.iter
+    (fun payload ->
+      let d = Codec.decoder payload in
+      let kind = Codec.get_u8 d in
+      if kind = k_incarnation then incr inc
+      else if kind = k_decision then begin
+        let id = Txid.decode d in
+        let parts = Codec.get_list Codec.get_string d in
+        Hashtbl.replace pending id (ref parts)
+      end
+      else if kind = k_end then Hashtbl.remove pending (Txid.decode d)
+      else failwith "tm: unknown log record")
+    recovered.Wal.records;
+  Wal.append_sync wal (encode_incarnation ());
+  {
+    tm_name;
+    wal;
+    inc = !inc + 1;
+    next_n = 0;
+    pending;
+    deciding = Hashtbl.create 8;
+    live = Hashtbl.create 16;
+    resolver = (fun _ -> None);
+    n_committed = 0;
+    n_aborted = 0;
+  }
+
+let name t = t.tm_name
+
+let begin_txn t =
+  t.next_n <- t.next_n + 1;
+  let txn =
+    {
+      id = Txid.make ~origin:t.tm_name ~inc:t.inc ~n:t.next_n;
+      participants = [];
+      status = Active;
+      commit_hooks = [];
+      abort_hooks = [];
+    }
+  in
+  Hashtbl.replace t.live txn.id txn;
+  txn
+
+let txn_id txn = txn.id
+
+let join txn p =
+  match txn.status with
+  | Finished Aborted ->
+    (* Force-aborted under the owner's feet: undo whatever the owner did at
+       this RM after the abort, so nothing leaks. *)
+    (try p.p_abort txn.id with _ -> ())
+  | Finished Committed -> invalid_arg "Tm.join: transaction already committed"
+  | Active ->
+    if not (List.exists (fun q -> q.part_name = p.part_name) txn.participants)
+    then txn.participants <- p :: txn.participants
+
+let on_commit txn f = txn.commit_hooks <- f :: txn.commit_hooks
+let on_abort txn f = txn.abort_hooks <- f :: txn.abort_hooks
+let is_active txn = txn.status = Active
+
+let finish txn outcome =
+  txn.status <- Finished outcome;
+  let hooks =
+    match outcome with Committed -> txn.commit_hooks | Aborted -> txn.abort_hooks
+  in
+  txn.commit_hooks <- [];
+  txn.abort_hooks <- [];
+  List.iter (fun f -> f ()) (List.rev hooks)
+
+let log_end t id =
+  Hashtbl.remove t.pending id;
+  Wal.append t.wal (encode_end id)
+(* End records are a cleanup optimization; they need not be forced. *)
+
+(* Retry commit delivery until every participant has acknowledged. *)
+let redeliver t id resolve =
+  let rec loop () =
+    match Hashtbl.find_opt t.pending id with
+    | None -> ()
+    | Some remaining ->
+      remaining :=
+        List.filter
+          (fun pname ->
+            match resolve pname with
+            | None -> true
+            | Some p -> not (try p.p_commit id with _ -> false))
+          !remaining;
+      if !remaining = [] then log_end t id
+      else begin
+        Sched.sleep_background 1.0;
+        loop ()
+      end
+  in
+  loop ()
+
+let deliver_commits t id parts =
+  let unacked =
+    List.filter (fun p -> not (try p.p_commit id with _ -> false)) parts
+  in
+  if unacked = [] then log_end t id
+  else begin
+    (* Keep retrying in the background; closures remain valid while this
+       incarnation lives, and recovery re-resolves by name otherwise. *)
+    let by_name pname =
+      match List.find_opt (fun p -> p.part_name = pname) parts with
+      | Some p -> Some p
+      | None -> t.resolver pname
+    in
+    Hashtbl.replace t.pending id (ref (List.map (fun p -> p.part_name) unacked));
+    ignore
+      (Sched.fork ~name:("redeliver:" ^ Txid.to_string id) (fun () ->
+           redeliver t id by_name))
+  end
+
+let commit t txn =
+  match txn.status with
+  | Finished Aborted ->
+    (* Force-aborted earlier: re-notify so locks or buffers acquired since
+       the abort are cleaned up (participant aborts are idempotent). *)
+    List.iter
+      (fun p -> try p.p_abort txn.id with _ -> ())
+      (List.rev txn.participants);
+    Aborted
+  | Finished Committed -> Committed
+  | Active -> begin
+    Hashtbl.remove t.live txn.id;
+    (* Participants that buffered no update are excused with an abort
+       notice, which merely releases their read locks. *)
+    let parts, workless =
+      List.partition
+        (fun p -> try p.p_has_work txn.id with _ -> true)
+        (List.rev txn.participants)
+    in
+    List.iter (fun p -> try p.p_abort txn.id with _ -> ()) workless;
+    match parts with
+    | [] ->
+      t.n_committed <- t.n_committed + 1;
+      finish txn Committed;
+      Committed
+    | [ p ] when p.p_is_local ->
+      if try p.p_one_phase txn.id with _ -> false then begin
+        t.n_committed <- t.n_committed + 1;
+        finish txn Committed;
+        Committed
+      end
+      else begin
+        t.n_aborted <- t.n_aborted + 1;
+        (try p.p_abort txn.id with _ -> ());
+        finish txn Aborted;
+        Aborted
+      end
+    | _ :: _ ->
+      Hashtbl.replace t.deciding txn.id ();
+      let all_yes =
+        List.for_all
+          (fun p ->
+            try p.p_prepare txn.id ~coordinator:t.tm_name with _ -> false)
+          parts
+      in
+      if not all_yes then begin
+        Hashtbl.remove t.deciding txn.id;
+        List.iter (fun p -> try p.p_abort txn.id with _ -> ()) parts;
+        t.n_aborted <- t.n_aborted + 1;
+        finish txn Aborted;
+        Aborted
+      end
+      else begin
+        let pnames = List.map (fun p -> p.part_name) parts in
+        Hashtbl.replace t.pending txn.id (ref pnames);
+        Wal.append_sync t.wal (encode_decision txn.id pnames);
+        Hashtbl.remove t.deciding txn.id;
+        t.n_committed <- t.n_committed + 1;
+        finish txn Committed;
+        deliver_commits t txn.id parts;
+        Committed
+      end
+  end
+
+let abort t txn =
+  match txn.status with
+  | Finished _ -> ()
+  | Active ->
+    Hashtbl.remove t.live txn.id;
+    List.iter (fun p -> try p.p_abort txn.id with _ -> ()) (List.rev txn.participants);
+    t.n_aborted <- t.n_aborted + 1;
+    finish txn Aborted
+
+let force_abort t id =
+  match Hashtbl.find_opt t.live id with
+  | None -> false
+  | Some txn ->
+    abort t txn;
+    true
+
+let decision t id =
+  if Hashtbl.mem t.pending id then `Committed
+  else if Hashtbl.mem t.deciding id then `Pending
+  else `Aborted (* presumed abort: no logged decision, not deciding *)
+
+let set_resolver t f = t.resolver <- f
+
+let recover_pending t =
+  Hashtbl.iter
+    (fun id _remaining ->
+      ignore
+        (Sched.fork ~name:("redeliver:" ^ Txid.to_string id) (fun () ->
+             redeliver t id (fun pname -> t.resolver pname))))
+    t.pending
+
+let pending_decisions t = Hashtbl.fold (fun id _ acc -> id :: acc) t.pending []
+let stats t = (t.n_committed, t.n_aborted)

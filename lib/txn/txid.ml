@@ -1,0 +1,19 @@
+module Codec = Rrq_util.Codec
+
+type t = { origin : string; inc : int; n : int }
+
+let make ~origin ~inc ~n = { origin; inc; n }
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+let to_string t = Printf.sprintf "%s.%d.%d" t.origin t.inc t.n
+
+let encode e t =
+  Codec.string e t.origin;
+  Codec.int e t.inc;
+  Codec.int e t.n
+
+let decode d =
+  let origin = Codec.get_string d in
+  let inc = Codec.get_int d in
+  let n = Codec.get_int d in
+  { origin; inc; n }

@@ -1,0 +1,7 @@
+(** FNV-1a 64-bit checksums, used to detect torn or corrupted WAL records. *)
+
+val fnv1a64 : string -> int64
+(** Checksum of a whole string. *)
+
+val fnv1a64_sub : string -> pos:int -> len:int -> int64
+(** Checksum of the substring [pos, pos+len). *)

@@ -1,0 +1,83 @@
+type encoder = Buffer.t
+
+let encoder () = Buffer.create 64
+let to_string = Buffer.contents
+let u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+let i64 b v = Buffer.add_int64_le b v
+let int b v = i64 b (Int64.of_int v)
+let bool b v = u8 b (if v then 1 else 0)
+let float b v = i64 b (Int64.bits_of_float v)
+
+let string b s =
+  int b (String.length s);
+  Buffer.add_string b s
+
+let raw b s = Buffer.add_string b s
+
+let option f b = function
+  | None -> u8 b 0
+  | Some v -> u8 b 1; f b v
+
+let list f b l =
+  int b (List.length l);
+  List.iter (f b) l
+
+let pair f g b (x, y) = f b x; g b y
+
+type decoder = { src : string; mutable pos : int }
+
+exception Decode_error of string
+
+let decoder src = { src; pos = 0 }
+let at_end d = d.pos >= String.length d.src
+
+let need d n =
+  if d.pos + n > String.length d.src then
+    raise (Decode_error (Printf.sprintf "truncated input at %d (+%d > %d)"
+                           d.pos n (String.length d.src)))
+
+let get_u8 d =
+  need d 1;
+  let v = Char.code d.src.[d.pos] in
+  d.pos <- d.pos + 1;
+  v
+
+let get_i64 d =
+  need d 8;
+  let v = String.get_int64_le d.src d.pos in
+  d.pos <- d.pos + 8;
+  v
+
+let get_int d = Int64.to_int (get_i64 d)
+
+let get_bool d =
+  match get_u8 d with
+  | 0 -> false
+  | 1 -> true
+  | n -> raise (Decode_error (Printf.sprintf "bad bool byte %d" n))
+
+let get_float d = Int64.float_of_bits (get_i64 d)
+
+let get_string d =
+  let n = get_int d in
+  if n < 0 then raise (Decode_error "negative string length");
+  need d n;
+  let s = String.sub d.src d.pos n in
+  d.pos <- d.pos + n;
+  s
+
+let get_option f d =
+  match get_u8 d with
+  | 0 -> None
+  | 1 -> Some (f d)
+  | n -> raise (Decode_error (Printf.sprintf "bad option byte %d" n))
+
+let get_list f d =
+  let n = get_int d in
+  if n < 0 then raise (Decode_error "negative list length");
+  List.init n (fun _ -> f d)
+
+let get_pair f g d =
+  let x = f d in
+  let y = g d in
+  (x, y)

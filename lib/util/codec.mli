@@ -1,0 +1,69 @@
+(** Binary encoding/decoding of structured values into byte strings.
+
+    All multi-byte integers are little-endian. Strings are length-prefixed.
+    The codec is used by the WAL, the checkpointers, and the registration
+    store, so changes here change the on-"disk" format. *)
+
+type encoder
+(** Mutable accumulator for an encoding in progress. *)
+
+val encoder : unit -> encoder
+(** Fresh empty encoder. *)
+
+val to_string : encoder -> string
+(** Contents encoded so far. *)
+
+val u8 : encoder -> int -> unit
+(** Append one byte (0..255). *)
+
+val i64 : encoder -> int64 -> unit
+(** Append a 64-bit integer. *)
+
+val int : encoder -> int -> unit
+(** Append an OCaml int (stored as 64-bit). *)
+
+val bool : encoder -> bool -> unit
+(** Append a boolean as one byte. *)
+
+val float : encoder -> float -> unit
+(** Append a float (IEEE-754 bits). *)
+
+val string : encoder -> string -> unit
+(** Append a length-prefixed string. *)
+
+val raw : encoder -> string -> unit
+(** Append bytes verbatim, with no length prefix (for framing layers that
+    track lengths themselves). *)
+
+val option : (encoder -> 'a -> unit) -> encoder -> 'a option -> unit
+(** Append an option: presence byte then payload. *)
+
+val list : (encoder -> 'a -> unit) -> encoder -> 'a list -> unit
+(** Append a list: length then elements. *)
+
+val pair :
+  (encoder -> 'a -> unit) -> (encoder -> 'b -> unit) -> encoder ->
+  'a * 'b -> unit
+(** Append a pair, first component first. *)
+
+type decoder
+(** Cursor over an encoded string. *)
+
+exception Decode_error of string
+(** Raised when the input is truncated or malformed. *)
+
+val decoder : string -> decoder
+(** Decoder positioned at the start of [s]. *)
+
+val at_end : decoder -> bool
+(** Whether all input has been consumed. *)
+
+val get_u8 : decoder -> int
+val get_i64 : decoder -> int64
+val get_int : decoder -> int
+val get_bool : decoder -> bool
+val get_float : decoder -> float
+val get_string : decoder -> string
+val get_option : (decoder -> 'a) -> decoder -> 'a option
+val get_list : (decoder -> 'a) -> decoder -> 'a list
+val get_pair : (decoder -> 'a) -> (decoder -> 'b) -> decoder -> 'a * 'b

@@ -1,0 +1,69 @@
+type t = {
+  mutable samples : float array;
+  mutable len : int;
+  mutable sorted : bool;
+}
+
+let create () = { samples = Array.make 64 0.0; len = 0; sorted = true }
+
+let add t v =
+  if t.len = Array.length t.samples then begin
+    let bigger = Array.make (2 * t.len) 0.0 in
+    Array.blit t.samples 0 bigger 0 t.len;
+    t.samples <- bigger
+  end;
+  t.samples.(t.len) <- v;
+  t.len <- t.len + 1;
+  t.sorted <- false
+
+let count t = t.len
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let live = Array.sub t.samples 0 t.len in
+    Array.sort compare live;
+    Array.blit live 0 t.samples 0 t.len;
+    t.sorted <- true
+  end
+
+let total t =
+  let s = ref 0.0 in
+  for i = 0 to t.len - 1 do
+    s := !s +. t.samples.(i)
+  done;
+  !s
+
+let mean t = if t.len = 0 then 0.0 else total t /. float_of_int t.len
+
+let min_value t =
+  if t.len = 0 then 0.0
+  else begin
+    ensure_sorted t;
+    t.samples.(0)
+  end
+
+let max_value t =
+  if t.len = 0 then 0.0
+  else begin
+    ensure_sorted t;
+    t.samples.(t.len - 1)
+  end
+
+let percentile t p =
+  if t.len = 0 then 0.0
+  else begin
+    ensure_sorted t;
+    let rank = int_of_float (ceil (p *. float_of_int t.len)) - 1 in
+    t.samples.(max 0 (min (t.len - 1) rank))
+  end
+
+let merge a b =
+  let t = create () in
+  for i = 0 to a.len - 1 do add t a.samples.(i) done;
+  for i = 0 to b.len - 1 do add t b.samples.(i) done;
+  t
+
+let summary t =
+  Printf.sprintf "n=%d mean=%.4f p50=%.4f p95=%.4f p99=%.4f max=%.4f"
+    (count t) (mean t) (percentile t 0.5) (percentile t 0.95)
+    (percentile t 0.99) (max_value t)

@@ -1,0 +1,18 @@
+(** ASCII table rendering for benchmark/experiment output.
+
+    Every experiment in [bench/main.exe] prints its result as one of these
+    tables so the output can be compared row-by-row with EXPERIMENTS.md. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** Table with a caption and column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; must have as many cells as there are columns. *)
+
+val render : t -> string
+(** Multi-line string with the title, a header rule, and aligned rows. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)

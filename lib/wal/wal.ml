@@ -1,0 +1,162 @@
+module Disk = Rrq_storage.Disk
+module Codec = Rrq_util.Codec
+module Checksum = Rrq_util.Checksum
+
+type t = {
+  disk : Disk.t;
+  base : string;
+  mutable seg : int; (* active segment number *)
+  mutable file : Disk.file;
+  mutable since_ckpt : int;
+}
+
+type recovered = { snapshot : string option; records : string list }
+
+let seg_name base n = Printf.sprintf "%s.seg%d" base n
+let ckpt_name base = base ^ ".ckpt"
+
+(* Frame: payload length (i64) | fnv1a64 of payload (i64) | payload. *)
+let frame payload =
+  let e = Codec.encoder () in
+  Codec.int e (String.length payload);
+  Codec.i64 e (Checksum.fnv1a64 payload);
+  Codec.raw e payload;
+  Codec.to_string e
+
+(* Scan a segment's contents, returning complete valid records in order.
+   Returns [None] as second component if the scan hit a corrupt/truncated
+   frame (meaning: stop scanning later segments too). *)
+let scan_segment contents =
+  let n = String.length contents in
+  let records = ref [] in
+  let pos = ref 0 in
+  let clean = ref true in
+  let continue_ = ref true in
+  while !continue_ do
+    if !pos = n then continue_ := false
+    else if !pos + 16 > n then begin
+      clean := false;
+      continue_ := false
+    end
+    else begin
+      let len = Int64.to_int (String.get_int64_le contents !pos) in
+      let sum = String.get_int64_le contents (!pos + 8) in
+      if len < 0 || !pos + 16 + len > n then begin
+        clean := false;
+        continue_ := false
+      end
+      else begin
+        let payload = String.sub contents (!pos + 16) len in
+        if Checksum.fnv1a64 payload <> sum then begin
+          clean := false;
+          continue_ := false
+        end
+        else begin
+          records := payload :: !records;
+          pos := !pos + 16 + len
+        end
+      end
+    end
+  done;
+  (List.rev !records, !clean)
+
+let read_ckpt disk base =
+  match Disk.read_file disk (ckpt_name base) with
+  | None -> (None, 0)
+  | Some contents -> begin
+    try
+      let d = Codec.decoder contents in
+      let seg = Codec.get_int d in
+      let snapshot = Codec.get_option Codec.get_string d in
+      (snapshot, seg)
+    with Codec.Decode_error _ -> (None, 0)
+  end
+
+let open_log disk ~name:base =
+  let snapshot, first_seg = read_ckpt disk base in
+  (* Drop stale segments from before the checkpoint (a crash can leave them
+     behind if it hit between checkpoint install and segment deletion). *)
+  List.iter
+    (fun f ->
+      match String.length f > String.length base
+            && String.sub f 0 (String.length base) = base
+      with
+      | true ->
+        (* file names are base.segN or base.ckpt *)
+        let suffix = String.sub f (String.length base)
+                       (String.length f - String.length base) in
+        if String.length suffix > 4 && String.sub suffix 0 4 = ".seg" then begin
+          match int_of_string_opt (String.sub suffix 4 (String.length suffix - 4)) with
+          | Some n when n < first_seg -> Disk.delete disk f
+          | _ -> ()
+        end
+      | false -> ())
+    (Disk.list_files disk);
+  let records = ref [] in
+  let seg = ref first_seg in
+  let scanning = ref true in
+  while !scanning do
+    match Disk.read_file disk (seg_name base !seg) with
+    | None -> scanning := false
+    | Some contents ->
+      let recs, clean = scan_segment contents in
+      records := !records @ recs;
+      if clean then incr seg
+      else begin
+        (* Torn tail: durably truncate the segment to its valid prefix, so
+           the next recovery scans past it into segments we append now. *)
+        let e = Codec.encoder () in
+        List.iter (fun r -> Codec.raw e (frame r)) recs;
+        Disk.replace_atomic disk (seg_name base !seg) (Codec.to_string e);
+        incr seg;
+        scanning := false
+      end
+  done;
+  (* Resume appending to a fresh segment past anything scanned, so a torn
+     tail can never corrupt new records. *)
+  let active =
+    if Disk.exists disk (seg_name base !seg) then !seg + 1 else !seg
+  in
+  let file = Disk.open_file disk (seg_name base active) in
+  let t = { disk; base; seg = active; file; since_ckpt = List.length !records } in
+  (t, { snapshot; records = !records })
+
+let append t payload =
+  Disk.append t.file (frame payload);
+  t.since_ckpt <- t.since_ckpt + 1
+
+let sync t = Disk.sync t.file
+
+let append_sync t payload =
+  append t payload;
+  sync t
+
+let checkpoint t snapshot =
+  let next = t.seg + 1 in
+  let e = Codec.encoder () in
+  Codec.int e next;
+  Codec.option Codec.string e (Some snapshot);
+  Disk.replace_atomic t.disk (ckpt_name t.base) (Codec.to_string e);
+  (* Old segments are no longer needed; delete them. *)
+  for n = 0 to t.seg do
+    if Disk.exists t.disk (seg_name t.base n) then
+      Disk.delete t.disk (seg_name t.base n)
+  done;
+  t.seg <- next;
+  t.file <- Disk.open_file t.disk (seg_name t.base next);
+  t.since_ckpt <- 0
+
+let records_since_checkpoint t = t.since_ckpt
+
+let live_log_bytes t =
+  List.fold_left
+    (fun acc f ->
+      match Disk.read_file t.disk f with
+      | Some c
+        when String.length f > String.length t.base
+             && String.sub f 0 (String.length t.base) = t.base
+             && String.length f > String.length t.base + 4
+             && String.sub f (String.length t.base) 4 = ".seg" ->
+        acc + String.length c
+      | _ -> acc)
+    0 (Disk.list_files t.disk)

@@ -1,0 +1,41 @@
+(** Write-ahead log over {!Rrq_storage.Disk}.
+
+    The WAL stores opaque record payloads framed with a length and an
+    FNV-1a checksum. Recovery scans segments in order and stops at the first
+    truncated or corrupt frame — so a torn tail lost in a crash silently
+    truncates the log to its last complete record, which is exactly the
+    contract resource managers rely on.
+
+    [checkpoint] atomically installs a state snapshot and starts a fresh
+    segment; older segments are deleted. Re-opening returns the latest
+    snapshot plus every record logged after it. *)
+
+type t
+
+type recovered = {
+  snapshot : string option;  (** Latest checkpoint snapshot, if any. *)
+  records : string list;  (** Payloads appended after that snapshot, oldest first. *)
+}
+
+val open_log : Rrq_storage.Disk.t -> name:string -> t * recovered
+(** Open (or create) the log called [name], recovering its contents. *)
+
+val append : t -> string -> unit
+(** Buffer a record at the log tail. Not durable until {!sync}. *)
+
+val sync : t -> unit
+(** Force all buffered records to stable storage. *)
+
+val append_sync : t -> string -> unit
+(** [append] then [sync] — the force-write used at commit points. *)
+
+val checkpoint : t -> string -> unit
+(** Durably and atomically install [snapshot] and truncate the log: records
+    appended before this call will not be replayed by future recoveries. *)
+
+val records_since_checkpoint : t -> int
+(** Count of records appended (not necessarily synced) since the last
+    checkpoint, used by checkpoint policies. *)
+
+val live_log_bytes : t -> int
+(** Durable bytes in the current (post-checkpoint) segments. *)

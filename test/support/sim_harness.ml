@@ -1,0 +1,39 @@
+(* Shared helper: run a scenario under the discrete-event scheduler and fail
+   the test if any fiber died with an unhandled exception. *)
+
+module Sched = Rrq_sim.Sched
+
+let run ?(expect_failures = false) f =
+  let s = Sched.create () in
+  f s;
+  Sched.run s;
+  if not expect_failures then begin
+    match Sched.failures s with
+    | [] -> ()
+    | (name, e) :: _ ->
+      Alcotest.failf "fiber %s raised: %s" name (Printexc.to_string e)
+  end;
+  s
+
+(* Run a single top-level fiber (with access to the scheduler) and return
+   its result. *)
+let run_fiber' f =
+  let result = ref None in
+  let _ =
+    run (fun s ->
+        ignore (Sched.spawn s ~name:"main" (fun () -> result := Some (f s))))
+  in
+  match !result with
+  | Some v -> v
+  | None -> Alcotest.fail "main fiber did not complete (simulated deadlock?)"
+
+(* Run a single top-level fiber and return its result. *)
+let run_fiber f =
+  let result = ref None in
+  let _ =
+    run (fun s ->
+        ignore (Sched.spawn s ~name:"main" (fun () -> result := Some (f ()))))
+  in
+  match !result with
+  | Some v -> v
+  | None -> Alcotest.fail "main fiber did not complete (simulated deadlock?)"

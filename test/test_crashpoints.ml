@@ -1,0 +1,173 @@
+(* Crash-point sweep: run a mixed workload (tagged enqueues, a two-RM 2PC
+   transaction, a checkpoint) and replay it once per durability boundary,
+   freezing the disk exactly there. After recovery (including manual
+   in-doubt resolution, as the site resolver would do), the cross-RM
+   atomicity invariants must hold at EVERY crash point:
+
+     I1  kv "got" written      =>  e1 consumed and op1's tag durable
+     I2  e1 still available    =>  tag is exactly "r1" and kv untouched
+     I3  "second" present      <=> tag is "r2"
+     I4  tag "r2"              =>  kv "got" written (op2 preceded op3)
+
+   This is the strongest evidence that the deferred-update logging, the
+   presumed-abort protocol and the tag atomicity of §4.3 compose
+   correctly. *)
+
+module Disk = Rrq_storage.Disk
+module Tm = Rrq_txn.Tm
+module Txid = Rrq_txn.Txid
+module Qm = Rrq_qm.Qm
+module Kvdb = Rrq_kvdb.Kvdb
+module Element = Rrq_qm.Element
+module H = Rrq_test_support.Sim_harness
+
+let open_world disk =
+  let tm = Tm.open_tm disk ~name:"node" in
+  let qm = Qm.open_qm disk ~name:"qm@node" in
+  let kv = Kvdb.open_kv disk ~name:"kv@node" in
+  Qm.create_queue qm "q";
+  (tm, qm, kv)
+
+let workload disk =
+  let tm, qm, kv = open_world disk in
+  let h, _ = Qm.register qm ~queue:"q" ~registrant:"client" ~stable:true in
+  (* op1: tagged enqueue (auto-commit) *)
+  ignore (Qm.auto_commit qm (fun id -> Qm.enqueue qm id h ~tag:"r1" "first"));
+  (* op2: 2PC across QM and KV: consume "first", record it in the db *)
+  let txn = Tm.begin_txn tm in
+  let id = Tm.txn_id txn in
+  (match Qm.dequeue qm id h Qm.No_wait with
+  | Some _ -> ()
+  | None -> () (* op1's effects died with the disk; nothing to consume *));
+  Kvdb.put kv id "got" "1";
+  Tm.join txn (Qm.participant qm);
+  Tm.join txn (Kvdb.participant kv);
+  ignore (Tm.commit tm txn);
+  (* checkpoint in the middle so the sweep crosses a checkpoint too *)
+  Qm.checkpoint qm;
+  Kvdb.checkpoint kv;
+  (* op3: second tagged enqueue *)
+  ignore (Qm.auto_commit qm (fun id -> Qm.enqueue qm id h ~tag:"r2" "second"))
+
+(* Reopen after the freeze, resolve any in-doubt transactions against the
+   recovered coordinator (what the site resolver daemon does over RPC).
+   The caller must have revived the disk. *)
+let recover_and_audit disk =
+  let tm, qm, kv = open_world disk in
+  List.iter
+    (fun (id, _coord) ->
+      match Tm.decision tm id with
+      | `Committed -> ignore ((Qm.participant qm).Tm.p_commit id)
+      | `Aborted | `Pending -> (Qm.participant qm).Tm.p_abort id)
+    (Qm.in_doubt qm);
+  List.iter
+    (fun (id, _coord) ->
+      match Tm.decision tm id with
+      | `Committed -> ignore ((Kvdb.participant kv).Tm.p_commit id)
+      | `Aborted | `Pending -> (Kvdb.participant kv).Tm.p_abort id)
+    (Kvdb.in_doubt kv);
+  let _, last = Qm.register qm ~queue:"q" ~registrant:"client" ~stable:true in
+  let tag = match last with Some l -> Some l.Qm.tag | None -> None in
+  let payloads =
+    List.map (fun el -> el.Element.payload) (Qm.elements qm "q")
+  in
+  let first_present = List.mem "first" payloads in
+  let second_present = List.mem "second" payloads in
+  let got = Kvdb.committed_value kv "got" = Some "1" in
+  (tag, first_present, second_present, got)
+
+let check_invariants ~point (tag, first_present, second_present, got) =
+  let ctx fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.sprintf "crash@%d tag=%s first=%b second=%b got=%b: %s" point
+          (match tag with Some t -> t | None -> "-")
+          first_present second_present got msg)
+      fmt
+  in
+  if got then begin
+    Alcotest.(check bool) (ctx "I1 got => e1 consumed") false first_present;
+    Alcotest.(check bool)
+      (ctx "I1 got => op1 tag durable")
+      true
+      (tag = Some "r1" || tag = Some "r2")
+  end;
+  if first_present then begin
+    Alcotest.(check (option string)) (ctx "I2 e1 present => tag r1") (Some "r1") tag;
+    Alcotest.(check bool) (ctx "I2 e1 present => kv untouched") false got
+  end;
+  Alcotest.(check bool)
+    (ctx "I3 second <=> tag r2")
+    (tag = Some "r2") second_present;
+  if tag = Some "r2" then
+    Alcotest.(check bool) (ctx "I4 tag r2 => got") true got
+
+let test_sweep () =
+  (* First, a clean run to count the durability boundaries. *)
+  let total_syncs =
+    H.run_fiber (fun () ->
+        let disk = Disk.create "clean" in
+        workload disk;
+        Disk.sync_count disk)
+  in
+  Alcotest.(check bool) "workload has enough sync points" true (total_syncs > 8);
+  (* Clean-run audit: everything durable. *)
+  H.run_fiber (fun () ->
+      let disk = Disk.create "clean2" in
+      workload disk;
+      Disk.crash disk;
+      Disk.revive disk;
+      let audit = recover_and_audit disk in
+      check_invariants ~point:(-1) audit;
+      let tag, first_present, second_present, got = audit in
+      Alcotest.(check (option string)) "final tag" (Some "r2") tag;
+      Alcotest.(check bool) "final first gone" false first_present;
+      Alcotest.(check bool) "final second there" true second_present;
+      Alcotest.(check bool) "final got" true got);
+  (* The sweep: freeze at every sync boundary. *)
+  for point = 1 to total_syncs do
+    H.run_fiber (fun () ->
+        let disk = Disk.create (Printf.sprintf "sweep%d" point) in
+        Disk.kill_after_syncs disk point;
+        workload disk;
+        Alcotest.(check bool)
+          (Printf.sprintf "disk froze at point %d" point)
+          true (Disk.is_dead disk);
+        Disk.revive disk;
+        check_invariants ~point (recover_and_audit disk))
+  done
+
+(* The same sweep, but the crash lands during the *recovery* of the first
+   crash (double failures, paper-grade paranoia). *)
+let test_double_crash_sweep () =
+  let total_syncs =
+    H.run_fiber (fun () ->
+        let disk = Disk.create "clean" in
+        workload disk;
+        Disk.sync_count disk)
+  in
+  let mid = total_syncs / 2 in
+  (* First crash at the midpoint; then sweep a second crash through the
+     recovery + resumed workload. *)
+  for point2 = 1 to 6 do
+    H.run_fiber (fun () ->
+        let disk = Disk.create (Printf.sprintf "double%d" point2) in
+        Disk.kill_after_syncs disk mid;
+        workload disk;
+        Disk.revive disk;
+        (* the second crash lands while the first recovery is writing *)
+        Disk.kill_after_syncs disk point2;
+        ignore (recover_and_audit disk);
+        Disk.revive disk;
+        check_invariants ~point:(1000 + point2) (recover_and_audit disk))
+  done
+
+let () =
+  Alcotest.run "rrq-crashpoints"
+    [
+      ( "sweep",
+        [
+          Alcotest.test_case "every sync boundary" `Quick test_sweep;
+          Alcotest.test_case "double crash" `Quick test_double_crash_sweep;
+        ] );
+    ]

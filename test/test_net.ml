@@ -1,0 +1,187 @@
+(* Tests for the simulated network: RPC semantics, loss, partitions,
+   service errors, node crash/restart, one-way messages. *)
+
+module Sched = Rrq_sim.Sched
+module Net = Rrq_net.Net
+module Rng = Rrq_util.Rng
+module H = Rrq_test_support.Sim_harness
+
+type Net.payload += Ping of int | Pong of int | Boom | Slow of float
+
+let echo_service msg =
+  match msg with
+  | Ping n -> Pong (n * 2)
+  | Boom -> failwith "service exploded"
+  | Slow d ->
+    Sched.sleep d;
+    Net.Ack
+  | _ -> raise (Invalid_argument "unexpected")
+
+let rig ?drop_rate ?latency s =
+  let net = Net.create ?latency ?drop_rate s (Rng.create 99) in
+  let server = Net.make_node net "server" in
+  Net.add_service server "echo" echo_service;
+  let client = Net.make_node net "client" in
+  (net, server, client)
+
+let test_rpc_roundtrip () =
+  H.run_fiber' (fun s ->
+      let _, _, client = rig s in
+      match Net.call client ~dst:"server" ~service:"echo" (Ping 21) with
+      | Pong n -> Alcotest.(check int) "doubled" 42 n
+      | _ -> Alcotest.fail "wrong reply")
+
+let test_rpc_latency () =
+  H.run_fiber' (fun s ->
+      let _, _, client = rig ~latency:0.1 s in
+      let t0 = Sched.clock () in
+      ignore (Net.call client ~dst:"server" ~service:"echo" (Ping 1));
+      Alcotest.(check (float 1e-9)) "two hops" 0.2 (Sched.clock () -. t0))
+
+let test_rpc_unknown_service () =
+  H.run_fiber' (fun s ->
+      let _, _, client = rig s in
+      match Net.call client ~dst:"server" ~service:"nope" (Ping 1) with
+      | _ -> Alcotest.fail "should not succeed"
+      | exception Net.Service_error msg ->
+        Alcotest.(check bool) "mentions service" true
+          (String.length msg > 0))
+
+let test_rpc_service_exception () =
+  H.run_fiber' (fun s ->
+      let _, _, client = rig s in
+      match Net.call client ~dst:"server" ~service:"echo" Boom with
+      | _ -> Alcotest.fail "should not succeed"
+      | exception Net.Service_error _ -> ())
+
+let test_rpc_timeout_on_dead_node () =
+  H.run_fiber' (fun s ->
+      let _, server, client = rig s in
+      Net.crash server;
+      let t0 = Sched.clock () in
+      match Net.call client ~timeout:1.0 ~dst:"server" ~service:"echo" (Ping 1) with
+      | _ -> Alcotest.fail "should time out"
+      | exception Net.Rpc_timeout ->
+        Alcotest.(check (float 1e-9)) "after the timeout" 1.0
+          (Sched.clock () -. t0))
+
+let test_rpc_timeout_on_slow_service () =
+  H.run_fiber' (fun s ->
+      let _, _, client = rig s in
+      match
+        Net.call client ~timeout:0.5 ~dst:"server" ~service:"echo" (Slow 5.0)
+      with
+      | _ -> Alcotest.fail "should time out"
+      | exception Net.Rpc_timeout -> ())
+
+let test_partition_and_heal () =
+  H.run_fiber' (fun s ->
+      let net, _, client = rig s in
+      Net.partition net "client" "server";
+      Alcotest.(check bool) "partitioned" true (Net.partitioned net "server" "client");
+      (match Net.call client ~timeout:0.5 ~dst:"server" ~service:"echo" (Ping 1) with
+      | _ -> Alcotest.fail "should time out across partition"
+      | exception Net.Rpc_timeout -> ());
+      Net.heal net "client" "server";
+      match Net.call client ~dst:"server" ~service:"echo" (Ping 1) with
+      | Pong 2 -> ()
+      | _ -> Alcotest.fail "should work after heal")
+
+let test_drop_rate_counted () =
+  H.run_fiber' (fun s ->
+      let net, _, client = rig ~drop_rate:0.5 s in
+      let ok = ref 0 in
+      for _ = 1 to 40 do
+        match Net.call client ~timeout:0.2 ~dst:"server" ~service:"echo" (Ping 1) with
+        | Pong _ -> incr ok
+        | _ -> ()
+        | exception Net.Rpc_timeout -> ()
+      done;
+      Alcotest.(check bool) "some dropped" true (Net.messages_dropped net > 0);
+      Alcotest.(check bool) "some delivered" true (!ok > 0);
+      Alcotest.(check bool) "not all delivered" true (!ok < 40))
+
+let test_crash_kills_service_fibers () =
+  let progressed = ref false in
+  let _ =
+    H.run (fun s ->
+        let net = Net.create s (Rng.create 1) in
+        let server = Net.make_node net "server" in
+        Net.add_service server "slow" (fun _ ->
+            Sched.sleep 10.0;
+            progressed := true;
+            Net.Ack);
+        let client = Net.make_node net "client" in
+        ignore
+          (Sched.spawn s ~group:"client" ~name:"caller" (fun () ->
+               match
+                 Net.call client ~timeout:2.0 ~dst:"server" ~service:"slow" Net.Ack
+               with
+               | _ -> Alcotest.fail "should time out"
+               | exception Net.Rpc_timeout -> ()));
+        Sched.at s 1.0 (fun () -> Net.crash server))
+  in
+  Alcotest.(check bool) "handler never resumed after crash" false !progressed
+
+let test_restart_runs_boot () =
+  H.run_fiber' (fun s ->
+      let net = Net.create s (Rng.create 1) in
+      let server = Net.make_node net "server" in
+      let boots = ref 0 in
+      Net.set_boot server (fun node ->
+          incr boots;
+          Net.add_service node "echo" echo_service);
+      Net.boot server;
+      let client = Net.make_node net "client" in
+      ignore (Net.call client ~dst:"server" ~service:"echo" (Ping 1));
+      Net.crash server;
+      Net.restart server;
+      (match Net.call client ~dst:"server" ~service:"echo" (Ping 3) with
+      | Pong 6 -> ()
+      | _ -> Alcotest.fail "service back after restart");
+      Alcotest.(check int) "boot ran twice" 2 !boots)
+
+let test_cast_fire_and_forget () =
+  let got = ref [] in
+  let _ =
+    H.run (fun s ->
+        let net = Net.create s (Rng.create 1) in
+        let server = Net.make_node net "server" in
+        Net.add_service server "sink" (fun msg ->
+            (match msg with Ping n -> got := n :: !got | _ -> ());
+            Net.Ack);
+        let client = Net.make_node net "client" in
+        ignore
+          (Sched.spawn s ~group:"c" ~name:"caster" (fun () ->
+               Net.cast client ~dst:"server" ~service:"sink" (Ping 1);
+               Net.cast client ~dst:"server" ~service:"sink" (Ping 2))))
+  in
+  Alcotest.(check (list int)) "both delivered in order" [ 1; 2 ] (List.rev !got)
+
+let test_duplicate_node_rejected () =
+  H.run_fiber' (fun s ->
+      let net = Net.create s (Rng.create 1) in
+      ignore (Net.make_node net "n");
+      match Net.make_node net "n" with
+      | _ -> Alcotest.fail "duplicate should be rejected"
+      | exception Invalid_argument _ -> ())
+
+let suite =
+  [
+    Alcotest.test_case "rpc roundtrip" `Quick test_rpc_roundtrip;
+    Alcotest.test_case "rpc latency" `Quick test_rpc_latency;
+    Alcotest.test_case "unknown service" `Quick test_rpc_unknown_service;
+    Alcotest.test_case "service exception" `Quick test_rpc_service_exception;
+    Alcotest.test_case "timeout on dead node" `Quick test_rpc_timeout_on_dead_node;
+    Alcotest.test_case "timeout on slow service" `Quick
+      test_rpc_timeout_on_slow_service;
+    Alcotest.test_case "partition and heal" `Quick test_partition_and_heal;
+    Alcotest.test_case "drop rate" `Quick test_drop_rate_counted;
+    Alcotest.test_case "crash kills service fibers" `Quick
+      test_crash_kills_service_fibers;
+    Alcotest.test_case "restart runs boot" `Quick test_restart_runs_boot;
+    Alcotest.test_case "cast fire-and-forget" `Quick test_cast_fire_and_forget;
+    Alcotest.test_case "duplicate node rejected" `Quick test_duplicate_node_rejected;
+  ]
+
+let () = Alcotest.run "rrq-net" [ ("net", suite) ]

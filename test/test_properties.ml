@@ -1,0 +1,261 @@
+(* Property-based tests on core invariants: lock-table compatibility, queue
+   dequeue ordering, codec roundtrips, filter encode/eval consistency. *)
+
+module Lock = Rrq_txn.Lock
+module Txid = Rrq_txn.Txid
+module Qm = Rrq_qm.Qm
+module Element = Rrq_qm.Element
+module Filter = Rrq_qm.Filter
+module Envelope = Rrq_core.Envelope
+module Tag = Rrq_core.Tag
+module Disk = Rrq_storage.Disk
+module H = Rrq_test_support.Sim_harness
+
+let tx n = Txid.make ~origin:"p" ~inc:1 ~n
+
+(* --- lock manager: no incompatible co-holders, ever --------------------- *)
+
+(* Random sequences of try_acquire / release_all over 4 transactions and 3
+   keys. After every step, for every key the granted set must be
+   compatible: at most one holder unless all holders are shared. *)
+let prop_lock_compatibility =
+  QCheck2.Test.make ~name:"lock: granted sets always compatible" ~count:300
+    QCheck2.Gen.(list_size (int_bound 60) (tup3 (int_bound 3) (int_bound 2) (int_bound 2)))
+    (fun script ->
+      let lm = Lock.create () in
+      let keys = [| "a"; "b"; "c" |] in
+      let check_invariant () =
+        Array.for_all
+          (fun key ->
+            let holders =
+              List.filter_map
+                (fun n ->
+                  let id = tx n in
+                  if Lock.holds lm id ~key Lock.X then Some (n, Lock.X)
+                  else if Lock.holds lm id ~key Lock.S then Some (n, Lock.S)
+                  else None)
+                [ 0; 1; 2; 3 ]
+            in
+            match holders with
+            | [] | [ _ ] -> true
+            | many -> List.for_all (fun (_, m) -> m = Lock.S) many)
+          keys
+      in
+      List.for_all
+        (fun (who, key_i, action) ->
+          let id = tx who in
+          (match action with
+          | 0 -> ignore (Lock.try_acquire lm id ~key:keys.(key_i) Lock.S)
+          | 1 -> ignore (Lock.try_acquire lm id ~key:keys.(key_i) Lock.X)
+          | _ -> Lock.release_all lm id);
+          check_invariant ())
+        script)
+
+(* try_acquire must be consistent with holds. *)
+let prop_lock_try_acquire_grants =
+  QCheck2.Test.make ~name:"lock: try_acquire implies holds" ~count:200
+    QCheck2.Gen.(list_size (int_bound 40) (tup2 (int_bound 3) (int_bound 1)))
+    (fun script ->
+      let lm = Lock.create () in
+      List.for_all
+        (fun (who, mode_i) ->
+          let id = tx who in
+          let mode = if mode_i = 0 then Lock.S else Lock.X in
+          if Lock.try_acquire lm id ~key:"k" mode then
+            Lock.holds lm id ~key:"k" mode
+          else true)
+        script)
+
+(* --- QM: dequeue order ---------------------------------------------------- *)
+
+(* Whatever the enqueue order, repeated dequeues return elements sorted by
+   (priority desc, enqueue order). *)
+let prop_qm_dequeue_order =
+  QCheck2.Test.make ~name:"qm: dequeue respects priority then FIFO" ~count:100
+    QCheck2.Gen.(list_size (int_bound 25) (int_bound 4))
+    (fun priorities ->
+      H.run_fiber (fun () ->
+          let disk = Disk.create "p" in
+          let qm = Qm.open_qm disk ~name:"qm" in
+          Qm.create_queue qm "q";
+          let h, _ = Qm.register qm ~queue:"q" ~registrant:"p" ~stable:false in
+          List.iteri
+            (fun i prio ->
+              ignore
+                (Qm.auto_commit qm (fun id ->
+                     Qm.enqueue qm id h ~priority:prio
+                       (Printf.sprintf "%d:%d" prio i))))
+            priorities;
+          let rec drain acc =
+            match
+              Qm.auto_commit qm (fun id -> Qm.dequeue qm id h Qm.No_wait)
+            with
+            | Some el -> drain (el.Element.payload :: acc)
+            | None -> List.rev acc
+          in
+          let order = drain [] in
+          let decoded =
+            List.map
+              (fun p ->
+                match String.split_on_char ':' p with
+                | [ prio; i ] -> (-int_of_string prio, int_of_string i)
+                | _ -> assert false)
+              order
+          in
+          (* sorted by (-priority, enqueue index) *)
+          decoded = List.sort compare decoded))
+
+(* Ranked dequeue always returns the ready element with the highest rank. *)
+let prop_qm_rank_max =
+  QCheck2.Test.make ~name:"qm: ranked dequeue returns the max" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 20) (int_bound 1000))
+    (fun amounts ->
+      H.run_fiber (fun () ->
+          let disk = Disk.create "p" in
+          let qm = Qm.open_qm disk ~name:"qm" in
+          Qm.create_queue qm "q";
+          let h, _ = Qm.register qm ~queue:"q" ~registrant:"p" ~stable:false in
+          List.iter
+            (fun a ->
+              ignore
+                (Qm.auto_commit qm (fun id ->
+                     Qm.enqueue qm id h
+                       ~props:[ ("amount", string_of_int a) ]
+                       (string_of_int a))))
+            amounts;
+          let rank el =
+            match Element.prop el "amount" with
+            | Some a -> float_of_string a
+            | None -> 0.0
+          in
+          match Qm.auto_commit qm (fun id -> Qm.dequeue qm id h ~rank Qm.No_wait) with
+          | Some el ->
+            int_of_string el.Element.payload
+            = List.fold_left max min_int amounts
+          | None -> false))
+
+(* --- codecs ---------------------------------------------------------------- *)
+
+let gen_small_string = QCheck2.Gen.(string_size ~gen:printable (int_bound 30))
+
+let prop_envelope_roundtrip =
+  QCheck2.Test.make ~name:"envelope: to_string/of_string roundtrip" ~count:300
+    QCheck2.Gen.(
+      tup4 gen_small_string gen_small_string gen_small_string
+        (tup3 gen_small_string gen_small_string (int_bound 10)))
+    (fun (rid, client_id, body, (kind, scratch, step)) ->
+      let env =
+        Envelope.make ~rid ~client_id ~reply_node:"n" ~reply_queue:"rq"
+          ~kind ~scratch ~step body
+      in
+      Envelope.of_string (Envelope.to_string env) = env)
+
+let prop_tag_roundtrip =
+  QCheck2.Test.make ~name:"tag: rid/ckpt pieces roundtrip" ~count:300
+    QCheck2.Gen.(tup2 gen_small_string (option gen_small_string))
+    (fun (rid, ckpt) ->
+      let send_tag = Tag.send ~rid in
+      let recv_tag = Tag.receive ~rid:(Some rid) ~ckpt in
+      Tag.rid_piece send_tag = Some rid
+      && Tag.rid_piece recv_tag = Some rid
+      && Tag.ckpt_piece recv_tag = ckpt)
+
+(* A filter survives encode/decode with identical semantics on random
+   elements. *)
+let gen_filter =
+  let open QCheck2.Gen in
+  let key = oneofl [ "k1"; "k2"; "k3" ] in
+  let value = oneofl [ "a"; "b"; "7"; "42" ] in
+  sized
+  @@ fix (fun self n ->
+         if n = 0 then
+           oneof
+             [
+               return Filter.True;
+               map2 (fun k v -> Filter.Prop_eq (k, v)) key value;
+               map (fun k -> Filter.Prop_exists k) key;
+               map2 (fun k b -> Filter.Prop_ge (k, b)) key (int_bound 50);
+               map (fun p -> Filter.Priority_ge p) (int_bound 5);
+             ]
+         else
+           oneof
+             [
+               map (fun f -> Filter.Not f) (self (n / 2));
+               map2 (fun a b -> Filter.And (a, b)) (self (n / 2)) (self (n / 2));
+               map2 (fun a b -> Filter.Or (a, b)) (self (n / 2)) (self (n / 2));
+             ])
+
+let gen_element =
+  let open QCheck2.Gen in
+  let prop =
+    tup2 (oneofl [ "k1"; "k2"; "k3" ]) (oneofl [ "a"; "b"; "7"; "42" ])
+  in
+  map2
+    (fun props priority ->
+      Element.make ~eid:1L ~payload:"x" ~props ~priority ~enq_time:0.0)
+    (list_size (int_bound 4) prop)
+    (int_bound 5)
+
+let prop_filter_codec_semantics =
+  QCheck2.Test.make ~name:"filter: codec preserves semantics" ~count:400
+    QCheck2.Gen.(tup2 gen_filter gen_element)
+    (fun (f, el) ->
+      let e = Rrq_util.Codec.encoder () in
+      Filter.encode e f;
+      let f' = Filter.decode (Rrq_util.Codec.decoder (Rrq_util.Codec.to_string e)) in
+      Filter.matches f el = Filter.matches f' el)
+
+(* Element codec roundtrip (status resets to Ready by design). *)
+let prop_element_roundtrip =
+  QCheck2.Test.make ~name:"element: codec roundtrip" ~count:200
+    QCheck2.Gen.(
+      tup4 gen_small_string
+        (list_size (int_bound 4) (tup2 gen_small_string gen_small_string))
+        (int_bound 9) (int_bound 1000))
+    (fun (payload, props, priority, dc) ->
+      let el = Element.make ~eid:77L ~payload ~props ~priority ~enq_time:1.5 in
+      el.Element.delivery_count <- dc;
+      el.Element.abort_code <- (if dc > 500 then Some "code" else None);
+      let e = Rrq_util.Codec.encoder () in
+      Element.encode e el;
+      let el' = Element.decode (Rrq_util.Codec.decoder (Rrq_util.Codec.to_string e)) in
+      el'.Element.eid = 77L
+      && el'.Element.payload = payload
+      && el'.Element.props = props
+      && el'.Element.priority = priority
+      && el'.Element.enq_time = 1.5
+      && el'.Element.delivery_count = dc
+      && el'.Element.abort_code = el.Element.abort_code
+      && el'.Element.status = Element.Ready)
+
+(* Umbrella-module smoke: the [Rrq] re-exports resolve and link. *)
+let test_umbrella_links () =
+  Alcotest.(check bool) "filter through the umbrella" true
+    (Rrq.Filter.matches Rrq.Filter.True
+       (Rrq.Element.make ~eid:1L ~payload:"x" ~props:[] ~priority:0
+          ~enq_time:0.0));
+  Alcotest.(check string) "txid through the umbrella" "n.1.2"
+    (Rrq.Txid.to_string (Rrq.Txid.make ~origin:"n" ~inc:1 ~n:2))
+
+let () =
+  Alcotest.run "rrq-properties"
+    [
+      ( "locks",
+        [
+          QCheck_alcotest.to_alcotest prop_lock_compatibility;
+          QCheck_alcotest.to_alcotest prop_lock_try_acquire_grants;
+        ] );
+      ( "qm",
+        [
+          QCheck_alcotest.to_alcotest prop_qm_dequeue_order;
+          QCheck_alcotest.to_alcotest prop_qm_rank_max;
+        ] );
+      ("umbrella", [ Alcotest.test_case "links" `Quick test_umbrella_links ]);
+      ( "codecs",
+        [
+          QCheck_alcotest.to_alcotest prop_envelope_roundtrip;
+          QCheck_alcotest.to_alcotest prop_tag_roundtrip;
+          QCheck_alcotest.to_alcotest prop_filter_codec_semantics;
+          QCheck_alcotest.to_alcotest prop_element_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,247 @@
+(* Tests for replicated queues (paper §11), distributed-commit atomicity
+   under a crash-time sweep, and content-based scheduling. *)
+
+module Sched = Rrq_sim.Sched
+module Net = Rrq_net.Net
+module Rng = Rrq_util.Rng
+module Tm = Rrq_txn.Tm
+module Qm = Rrq_qm.Qm
+module Element = Rrq_qm.Element
+module Filter = Rrq_qm.Filter
+module Site = Rrq_core.Site
+module Replica = Rrq_core.Replica
+module H = Rrq_test_support.Sim_harness
+
+let make_pair s =
+  let net = Net.create s (Rng.create 77) in
+  let a = Site.create ~stale_timeout:2.0 (Net.make_node net "siteA") in
+  let b = Site.create ~stale_timeout:2.0 (Net.make_node net "siteB") in
+  (net, a, b)
+
+(* --- replicated queues --------------------------------------------------- *)
+
+let test_replicated_roundtrip () =
+  H.run_fiber' (fun s ->
+      let _, a, b = make_pair s in
+      let rq = Replica.create ~primary:a ~backup:b ~queue:"rq" in
+      let r1 = Site.with_txn a (fun txn -> Replica.enqueue rq txn "one") in
+      let r2 = Site.with_txn a (fun txn -> Replica.enqueue rq txn "two") in
+      Alcotest.(check bool) "distinct rep ids" true (r1 <> r2);
+      Alcotest.(check (pair int int)) "both copies filled" (2, 2)
+        (Replica.depths rq);
+      Alcotest.(check (list string)) "same contents"
+        (Replica.rep_ids a ~queue:"rq")
+        (Replica.rep_ids b ~queue:"rq");
+      (match Site.with_txn a (fun txn -> Replica.dequeue rq txn) with
+      | Some (rep, payload) ->
+        Alcotest.(check string) "fifo payload" "one" payload;
+        Alcotest.(check string) "fifo rep id" r1 rep
+      | None -> Alcotest.fail "dequeue failed");
+      Alcotest.(check (pair int int)) "both copies drained once" (1, 1)
+        (Replica.depths rq))
+
+let test_replicated_abort_affects_neither () =
+  H.run_fiber' (fun s ->
+      let _, a, b = make_pair s in
+      let rq = Replica.create ~primary:a ~backup:b ~queue:"rq" in
+      (try
+         Site.with_txn a (fun txn ->
+             ignore (Replica.enqueue rq txn "doomed");
+             failwith "change of heart")
+       with Failure _ -> ());
+      Alcotest.(check (pair int int)) "neither copy touched" (0, 0)
+        (Replica.depths rq))
+
+let test_replicated_peer_down_aborts () =
+  H.run_fiber' (fun s ->
+      let _, a, b = make_pair s in
+      let rq = Replica.create ~primary:a ~backup:b ~queue:"rq" in
+      Site.crash b;
+      (match
+         Site.with_txn a (fun txn -> ignore (Replica.enqueue rq txn "x"))
+       with
+      | () -> Alcotest.fail "should degrade"
+      | exception Replica.Degraded _ -> ()
+      | exception Site.Aborted _ -> ());
+      Alcotest.(check int) "primary copy not half-written" 0
+        (Qm.depth (Site.qm a) "rq"))
+
+let test_failover_and_resync () =
+  H.run_fiber' (fun s ->
+      let _, a, b = make_pair s in
+      let rq = Replica.create ~primary:a ~backup:b ~queue:"rq" in
+      let drained = ref [] in
+      List.iter
+        (fun p -> ignore (Site.with_txn a (fun txn -> Replica.enqueue rq txn p)))
+        [ "one"; "two"; "three" ];
+      (* primary dies; the backup is promoted and serves alone *)
+      Site.crash a;
+      Replica.promote rq;
+      Replica.set_degraded rq true;
+      (match Site.with_txn b (fun txn -> Replica.dequeue rq txn) with
+      | Some (_, p) -> drained := p :: !drained
+      | None -> Alcotest.fail "promoted copy should serve");
+      ignore
+        (Site.with_txn b (fun txn -> Replica.enqueue rq txn "four"));
+      (* the failed site returns with a stale copy; reconcile it *)
+      Site.restart a;
+      Replica.resync rq;
+      Replica.set_degraded rq false;
+      Alcotest.(check (list string)) "copies identical after resync"
+        (Replica.rep_ids b ~queue:"rq")
+        (Replica.rep_ids a ~queue:"rq");
+      (* fully replicated service resumes; drain everything *)
+      let rec drain () =
+        match Site.with_txn b (fun txn -> Replica.dequeue rq txn) with
+        | Some (_, p) ->
+          drained := p :: !drained;
+          drain ()
+        | None -> ()
+      in
+      drain ();
+      Alcotest.(check (list string)) "each element served exactly once"
+        (List.sort compare [ "one"; "two"; "three"; "four" ])
+        (List.sort compare !drained);
+      Alcotest.(check (pair int int)) "both empty" (0, 0) (Replica.depths rq))
+
+(* --- distributed commit atomicity under a crash-time sweep ---------------- *)
+
+(* A transaction enqueues on two sites via 2PC while site B crashes at a
+   swept offset. Whatever the timing, after recovery both queues must agree
+   (both have the element or neither). *)
+let atomicity_at_crash_time crash_at =
+  H.run_fiber' (fun s ->
+      let net = Net.create s (Rng.create 7) in
+      let a =
+        Site.create ~queues:[ ("qa", Qm.default_attrs) ] ~stale_timeout:1.0
+          (Net.make_node net "siteA")
+      in
+      let b =
+        Site.create ~queues:[ ("qb", Qm.default_attrs) ] ~stale_timeout:1.0
+          (Net.make_node net "siteB")
+      in
+      Sched.at s crash_at (fun () -> Site.crash_restart b ~after:1.0);
+      let committed =
+        match
+          Site.with_txn a (fun txn ->
+              let h, _ =
+                Qm.register (Site.qm a) ~queue:"qa" ~registrant:"t" ~stable:false
+              in
+              ignore (Qm.enqueue (Site.qm a) (Tm.txn_id txn) h "x");
+              Site.remote_enqueue a txn ~dst:"siteB" ~queue:"qb" "x")
+        with
+        | () -> true
+        | exception Site.Aborted _ -> false
+      in
+      (* allow in-doubt resolution and commit redelivery to settle *)
+      Sched.sleep 15.0;
+      let da = Qm.depth (Site.qm a) "qa" in
+      let db = Qm.depth (Site.qm b) "qb" in
+      (committed, da, db))
+
+let test_2pc_atomic_under_crash_sweep () =
+  List.iter
+    (fun crash_at ->
+      let committed, da, db = atomicity_at_crash_time crash_at in
+      let tag = Printf.sprintf "crash at %.3f (committed=%b)" crash_at committed in
+      Alcotest.(check bool)
+        (tag ^ ": both or neither")
+        true
+        ((da = 1 && db = 1) || (da = 0 && db = 0));
+      if committed then
+        Alcotest.(check int) (tag ^ ": committed implies both") 1 da)
+    [ 0.001; 0.004; 0.008; 0.012; 0.016; 0.02; 0.03; 0.05 ]
+
+(* --- content-based scheduling (ranked dequeue, paper 11) ------------------ *)
+
+let test_ranked_dequeue_highest_dollar_first () =
+  H.run_fiber (fun () ->
+      let disk = Rrq_storage.Disk.create "n" in
+      let qm = Qm.open_qm disk ~name:"qm" in
+      Qm.create_queue qm "orders";
+      let h, _ = Qm.register qm ~queue:"orders" ~registrant:"t" ~stable:false in
+      List.iter
+        (fun (p, amt) ->
+          ignore
+            (Qm.auto_commit qm (fun id ->
+                 Qm.enqueue qm id h ~props:[ ("amount", string_of_int amt) ] p)))
+        [ ("small", 10); ("huge", 5000); ("medium", 300) ];
+      let rank el =
+        match Element.prop el "amount" with
+        | Some a -> float_of_string a
+        | None -> 0.0
+      in
+      let next () =
+        match
+          Qm.auto_commit qm (fun id -> Qm.dequeue qm id h ~rank Qm.No_wait)
+        with
+        | Some el -> el.Element.payload
+        | None -> "<empty>"
+      in
+      let first = next () in
+      let second = next () in
+      let third = next () in
+      Alcotest.(check (list string)) "largest amounts first"
+        [ "huge"; "medium"; "small" ]
+        [ first; second; third ])
+
+let test_ranked_dequeue_with_filter () =
+  H.run_fiber (fun () ->
+      let disk = Rrq_storage.Disk.create "n" in
+      let qm = Qm.open_qm disk ~name:"qm" in
+      Qm.create_queue qm "orders";
+      let h, _ = Qm.register qm ~queue:"orders" ~registrant:"t" ~stable:false in
+      List.iter
+        (fun (p, kind, amt) ->
+          ignore
+            (Qm.auto_commit qm (fun id ->
+                 Qm.enqueue qm id h
+                   ~props:[ ("kind", kind); ("amount", string_of_int amt) ]
+                   p)))
+        [ ("a", "sell", 100); ("b", "buy", 900); ("c", "sell", 500) ];
+      let rank el =
+        match Element.prop el "amount" with
+        | Some a -> float_of_string a
+        | None -> 0.0
+      in
+      match
+        Qm.auto_commit qm (fun id ->
+            Qm.dequeue qm id h ~filter:(Filter.Prop_eq ("kind", "sell")) ~rank
+              Qm.No_wait)
+      with
+      | Some el ->
+        Alcotest.(check string) "largest sell, not the larger buy" "c"
+          el.Element.payload
+      | None -> Alcotest.fail "expected an element")
+
+let replica_suite =
+  [
+    Alcotest.test_case "replicated roundtrip" `Quick test_replicated_roundtrip;
+    Alcotest.test_case "abort affects neither copy" `Quick
+      test_replicated_abort_affects_neither;
+    Alcotest.test_case "peer down aborts (consistency first)" `Quick
+      test_replicated_peer_down_aborts;
+    Alcotest.test_case "failover, degraded service, resync" `Quick
+      test_failover_and_resync;
+  ]
+
+let atomicity_suite =
+  [
+    Alcotest.test_case "2PC atomic under crash sweep" `Quick
+      test_2pc_atomic_under_crash_sweep;
+  ]
+
+let scheduling_suite =
+  [
+    Alcotest.test_case "highest dollar first" `Quick
+      test_ranked_dequeue_highest_dollar_first;
+    Alcotest.test_case "rank + filter" `Quick test_ranked_dequeue_with_filter;
+  ]
+
+let () =
+  Alcotest.run "rrq-replica"
+    [
+      ("replica", replica_suite);
+      ("atomicity", atomicity_suite);
+      ("scheduling", scheduling_suite);
+    ]

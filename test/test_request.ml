@@ -1,0 +1,392 @@
+(* End-to-end tests of the System Model (fig. 4/5): clerk, queues, server,
+   exactly-once request processing under crashes and message loss. *)
+
+module Sched = Rrq_sim.Sched
+module Rng = Rrq_util.Rng
+module Net = Rrq_net.Net
+module Kvdb = Rrq_kvdb.Kvdb
+module Qm = Rrq_qm.Qm
+module Site = Rrq_core.Site
+module Clerk = Rrq_core.Clerk
+module Server = Rrq_core.Server
+module Envelope = Rrq_core.Envelope
+module H = Rrq_test_support.Sim_harness
+
+(* A standard rig: one backend site with a request queue, one bare client
+   node, a server whose handler increments per-rid and total counters. *)
+type rig = {
+  sched : Sched.t;
+  net : Net.t;
+  backend : Site.t;
+  client_node : Net.node;
+  server : Server.t;
+}
+
+let counting_handler site txn env =
+  let kv = Site.kv site in
+  let id = Rrq_txn.Tm.txn_id txn in
+  ignore (Kvdb.add kv id ("exec:" ^ env.Envelope.rid) 1);
+  ignore (Kvdb.add kv id "total" 1);
+  Server.Reply ("done:" ^ env.Envelope.body)
+
+let make_rig ?(drop_rate = 0.0) ?(server_threads = 1) ?(stale_timeout = 3.0)
+    ?handler s =
+  let net = Net.create ~drop_rate s (Rng.create 42) in
+  let backend_node = Net.make_node net "backend" in
+  let backend =
+    Site.create ~queues:[ ("req", Qm.default_attrs) ] ~stale_timeout backend_node
+  in
+  let client_node = Net.make_node net "client" in
+  let handler = match handler with Some h -> h | None -> counting_handler in
+  let server =
+    Server.start backend ~req_queue:"req" ~threads:server_threads handler
+  in
+  { sched = s; net; backend; client_node; server }
+
+let exec_count rig rid =
+  match Kvdb.committed_value (Site.kv rig.backend) ("exec:" ^ rid) with
+  | Some s -> int_of_string s
+  | None -> 0
+
+let connect rig ?(client_id = "alice") () =
+  Clerk.connect ~client_node:rig.client_node ~system:"backend"
+    ~client_id ~req_queue:"req" ()
+
+(* --- happy path -------------------------------------------------------- *)
+
+let test_happy_path () =
+  let done_ = ref false in
+  let _ =
+    H.run (fun s ->
+        let rig = make_rig s in
+        ignore
+          (Sched.spawn s ~group:"client" ~name:"alice" (fun () ->
+               let clerk, info = connect rig () in
+               Alcotest.(check bool) "fresh session" true
+                 (info.Clerk.s_rid = None && info.Clerk.r_rid = None);
+               for i = 1 to 5 do
+                 let rid = Printf.sprintf "r%d" i in
+                 ignore (Clerk.send clerk ~rid (Printf.sprintf "work-%d" i));
+                 match Clerk.receive clerk () with
+                 | Some reply ->
+                   (* Request-Reply Matching *)
+                   Alcotest.(check string) "reply matches request" rid
+                     reply.Envelope.rid;
+                   Alcotest.(check string) "reply body"
+                     (Printf.sprintf "done:work-%d" i)
+                     reply.Envelope.body
+                 | None -> Alcotest.fail "no reply"
+               done;
+               Clerk.disconnect clerk;
+               for i = 1 to 5 do
+                 Alcotest.(check int) "exactly once" 1
+                   (exec_count rig (Printf.sprintf "r%d" i))
+               done;
+               done_ := true)))
+  in
+  Alcotest.(check bool) "completed" true !done_
+
+let test_two_clients_private_reply_queues () =
+  let done_ = ref 0 in
+  let _ =
+    H.run (fun s ->
+        let rig = make_rig s ~server_threads:2 in
+        let spawn_client name =
+          ignore
+            (Sched.spawn s ~group:"client" ~name (fun () ->
+                 let clerk, _ = connect rig ~client_id:name () in
+                 for i = 1 to 3 do
+                   let rid = Printf.sprintf "%s-%d" name i in
+                   match Clerk.transceive clerk ~rid ("b" ^ rid) with
+                   | Some reply ->
+                     Alcotest.(check string)
+                       (name ^ " gets own reply") rid reply.Envelope.rid
+                   | None -> Alcotest.fail "no reply"
+                 done;
+                 incr done_))
+        in
+        spawn_client "alice";
+        spawn_client "bob")
+  in
+  Alcotest.(check int) "both clients done" 2 !done_
+
+(* --- failures ----------------------------------------------------------- *)
+
+let test_server_crash_exactly_once () =
+  (* Crash the backend twice while a client pushes 10 requests through.
+     Every request must execute exactly once and every reply must reach the
+     client. *)
+  let done_ = ref false in
+  let _ =
+    H.run (fun s ->
+        let rig = make_rig s in
+        Sched.at s 2.0 (fun () -> Site.crash_restart rig.backend ~after:1.5);
+        Sched.at s 9.0 (fun () -> Site.crash_restart rig.backend ~after:1.5);
+        ignore
+          (Sched.spawn s ~group:"client" ~name:"alice" (fun () ->
+               let clerk, _ = connect rig () in
+               for i = 1 to 10 do
+                 let rid = Printf.sprintf "r%d" i in
+                 ignore (Clerk.send clerk ~rid ("w" ^ string_of_int i));
+                 let rec get () =
+                   match Clerk.receive clerk ~timeout:3.0 () with
+                   | Some reply -> reply
+                   | None -> get ()
+                 in
+                 let reply = get () in
+                 Alcotest.(check string) "matching reply" rid reply.Envelope.rid;
+                 Sched.sleep 1.0
+               done;
+               for i = 1 to 10 do
+                 Alcotest.(check int)
+                   (Printf.sprintf "r%d exactly once" i)
+                   1
+                   (exec_count rig (Printf.sprintf "r%d" i))
+               done;
+               done_ := true)))
+  in
+  Alcotest.(check bool) "completed" true !done_
+
+let test_message_loss_exactly_once () =
+  (* 20% of messages vanish; the tagged-retry protocol still delivers
+     exactly-once processing and at-least-once replies. *)
+  let done_ = ref false in
+  let _ =
+    H.run (fun s ->
+        let rig = make_rig ~drop_rate:0.2 s in
+        ignore
+          (Sched.spawn s ~group:"client" ~name:"alice" (fun () ->
+               let clerk, _ = connect rig () in
+               for i = 1 to 15 do
+                 let rid = Printf.sprintf "r%d" i in
+                 ignore (Clerk.send clerk ~rid ("w" ^ string_of_int i));
+                 let rec get n =
+                   if n > 50 then Alcotest.fail "reply never arrived";
+                   match Clerk.receive clerk ~timeout:2.0 () with
+                   | Some reply -> reply
+                   | None -> get (n + 1)
+                 in
+                 let reply = get 0 in
+                 Alcotest.(check string) "matching reply" rid reply.Envelope.rid
+               done;
+               for i = 1 to 15 do
+                 Alcotest.(check int)
+                   (Printf.sprintf "r%d exactly once" i)
+                   1
+                   (exec_count rig (Printf.sprintf "r%d" i))
+               done;
+               done_ := true)))
+  in
+  Alcotest.(check bool) "completed" true !done_
+
+let test_client_crash_resynchronization () =
+  (* The client dies after Send but before Receive. Its next incarnation
+     reconnects, learns s_rid <> r_rid, so it must Receive (fig. 2, first
+     branch) — the reply is waiting and nothing executes twice. *)
+  let verdict = ref "" in
+  let _ =
+    H.run (fun s ->
+        let rig = make_rig s in
+        ignore
+          (Sched.spawn s ~group:"client" ~name:"alice-1" (fun () ->
+               let clerk, _ = connect rig () in
+               ignore (Clerk.send clerk ~rid:"r1" "important")));
+        (* incarnation 1 is killed right after send *)
+        Sched.at s 1.0 (fun () -> Sched.kill_group s "client");
+        Sched.at s 3.0 (fun () ->
+            ignore
+              (Sched.spawn s ~group:"client2" ~name:"alice-2" (fun () ->
+                   let clerk, info = connect rig () in
+                   match (info.Clerk.s_rid, info.Clerk.r_rid) with
+                   | Some "r1", None ->
+                     (* must receive, not resend *)
+                     (match Clerk.receive clerk () with
+                     | Some reply when reply.Envelope.rid = "r1" ->
+                       if exec_count rig "r1" = 1 then verdict := "ok"
+                       else verdict := "executed twice"
+                     | Some _ -> verdict := "wrong reply"
+                     | None -> verdict := "no reply")
+                   | _ -> verdict := "bad connect info"))))
+  in
+  Alcotest.(check string) "resync verdict" "ok" !verdict
+
+let test_client_crash_after_receive_rereceive () =
+  (* The client receives the reply, then dies before processing it. The new
+     incarnation sees s_rid = r_rid and uses Rereceive to fetch the retained
+     copy (fig. 2, second branch). *)
+  let verdict = ref "" in
+  let _ =
+    H.run (fun s ->
+        let rig = make_rig s in
+        ignore
+          (Sched.spawn s ~group:"client" ~name:"alice-1" (fun () ->
+               let clerk, _ = connect rig () in
+               ignore (Clerk.send clerk ~rid:"r1" "important");
+               ignore (Clerk.receive clerk ~ckpt:"ticket-0" ());
+               (* dies here, before processing the reply *)
+               Sched.sleep 1000.0));
+        Sched.at s 5.0 (fun () -> Sched.kill_group s "client");
+        Sched.at s 6.0 (fun () ->
+            ignore
+              (Sched.spawn s ~group:"client2" ~name:"alice-2" (fun () ->
+                   let clerk, info = connect rig () in
+                   match (info.Clerk.s_rid, info.Clerk.r_rid) with
+                   | Some "r1", Some "r1" ->
+                     Alcotest.(check (option string)) "checkpoint returned"
+                       (Some "ticket-0") info.Clerk.ckpt;
+                     (match Clerk.rereceive clerk with
+                     | Some reply when reply.Envelope.rid = "r1" ->
+                       verdict := "ok"
+                     | Some _ -> verdict := "wrong reply"
+                     | None -> verdict := "no retained copy")
+                   | _ -> verdict := "bad connect info"))))
+  in
+  Alcotest.(check string) "rereceive verdict" "ok" !verdict
+
+let test_poison_request_lands_in_error_queue () =
+  (* A request whose handler always fails must not cycle forever: after the
+     retry limit it moves to the error queue and the server moves on. *)
+  let done_ = ref false in
+  let handler site txn env =
+    if env.Envelope.body = "poison" then failwith "cannot process"
+    else counting_handler site txn env
+  in
+  let _ =
+    H.run (fun s ->
+        let rig = make_rig ~handler s in
+        ignore
+          (Sched.spawn s ~group:"client" ~name:"alice" (fun () ->
+               let clerk, _ = connect rig () in
+               ignore (Clerk.send clerk ~rid:"bad" "poison");
+               ignore (Clerk.send clerk ~rid:"good" "fine");
+               (match Clerk.receive clerk ~timeout:10.0 () with
+               | Some reply ->
+                 Alcotest.(check string) "good request still served" "good"
+                   reply.Envelope.rid
+               | None -> Alcotest.fail "good request starved");
+               Alcotest.(check int) "poison parked in error queue" 1
+                 (Qm.depth (Site.qm rig.backend) "req.err");
+               Alcotest.(check int) "poison never committed" 0
+                 (exec_count rig "bad");
+               done_ := true)))
+  in
+  Alcotest.(check bool) "completed" true !done_
+
+let test_cancel_waiting_request () =
+  (* Cancellation (paper 7): kill a request still sitting in the queue. *)
+  let verdict = ref "" in
+  let _ =
+    H.run (fun s ->
+        (* no server: requests stay queued *)
+        let net = Net.create s (Rng.create 1) in
+        let backend_node = Net.make_node net "backend" in
+        let backend =
+          Site.create ~queues:[ ("req", Qm.default_attrs) ] backend_node
+        in
+        ignore
+          (Sched.spawn s ~group:"client" ~name:"alice" (fun () ->
+               let clerk, _ =
+                 Clerk.connect ~client_node:(Net.make_node net "client")
+                   ~system:"backend" ~client_id:"alice" ~req_queue:"req" ()
+               in
+               ignore (Clerk.send clerk ~rid:"r1" "todo");
+               Alcotest.(check int) "queued" 1 (Qm.depth (Site.qm backend) "req");
+               let cancelled = Clerk.cancel_last_request clerk in
+               if cancelled && Qm.depth (Site.qm backend) "req" = 0 then
+                 verdict := "ok"
+               else verdict := "not cancelled")))
+  in
+  Alcotest.(check string) "cancel verdict" "ok" !verdict
+
+let test_load_sharing_many_servers () =
+  (* Many dequeuers on one queue, many concurrent client threads (the
+     paper's client-concurrency extension: one registrant per thread). All
+     requests processed exactly once. *)
+  let done_ = ref 0 in
+  let _ =
+    H.run (fun s ->
+        let rig = make_rig ~server_threads:4 s in
+        for i = 1 to 12 do
+          ignore
+            (Sched.spawn s ~group:"client" ~name:(Printf.sprintf "cl%d" i)
+               (fun () ->
+                 let clerk, _ =
+                   connect rig ~client_id:(Printf.sprintf "alice#%d" i) ()
+                 in
+                 let rid = Printf.sprintf "r%d" i in
+                 match Clerk.transceive clerk ~rid ("w" ^ rid) with
+                 | Some reply ->
+                   Alcotest.(check string) "own reply" rid reply.Envelope.rid;
+                   incr done_
+                 | None -> Alcotest.fail "no reply"))
+        done)
+  in
+  Alcotest.(check int) "all threads done" 12 !done_;
+  ()
+
+(* Deterministic sweep: crash the backend at each offset across the whole
+   exchange; 3 requests must execute exactly once for every crash time. *)
+let test_server_crash_time_sweep () =
+  List.iter
+    (fun crash_at ->
+      let done_ = ref false in
+      let _ =
+        H.run (fun s ->
+            let rig = make_rig s in
+            Sched.at s crash_at (fun () ->
+                Site.crash_restart rig.backend ~after:1.0);
+            ignore
+              (Sched.spawn s ~group:"client" ~name:"alice" (fun () ->
+                   let clerk, _ = connect rig () in
+                   for i = 1 to 3 do
+                     let rid = Printf.sprintf "r%d" i in
+                     (try ignore (Clerk.send clerk ~rid "w")
+                      with Clerk.Unavailable _ ->
+                        Alcotest.fail "send gave up");
+                     let rec get n =
+                       if n > 30 then Alcotest.fail "reply never arrived"
+                       else begin
+                         match Clerk.receive clerk ~timeout:2.0 () with
+                         | Some reply ->
+                           Alcotest.(check string) "matching" rid
+                             reply.Envelope.rid
+                         | None -> get (n + 1)
+                       end
+                     in
+                     get 0
+                   done;
+                   for i = 1 to 3 do
+                     Alcotest.(check int)
+                       (Printf.sprintf "crash@%.3f: r%d exactly once" crash_at i)
+                       1
+                       (exec_count rig (Printf.sprintf "r%d" i))
+                   done;
+                   done_ := true)))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "crash@%.3f completed" crash_at)
+        true !done_)
+    [ 0.005; 0.012; 0.02; 0.03; 0.045; 0.06; 0.08; 0.12; 0.2; 0.5; 1.0 ]
+
+let suite =
+  [
+    Alcotest.test_case "happy path" `Quick test_happy_path;
+    Alcotest.test_case "two clients, private reply queues" `Quick
+      test_two_clients_private_reply_queues;
+    Alcotest.test_case "server crashes: exactly-once" `Quick
+      test_server_crash_exactly_once;
+    Alcotest.test_case "message loss: exactly-once" `Quick
+      test_message_loss_exactly_once;
+    Alcotest.test_case "client crash: resynchronize + receive" `Quick
+      test_client_crash_resynchronization;
+    Alcotest.test_case "client crash: rereceive retained copy" `Quick
+      test_client_crash_after_receive_rereceive;
+    Alcotest.test_case "poison request -> error queue" `Quick
+      test_poison_request_lands_in_error_queue;
+    Alcotest.test_case "cancel waiting request" `Quick test_cancel_waiting_request;
+    Alcotest.test_case "load sharing" `Quick test_load_sharing_many_servers;
+    Alcotest.test_case "server crash-time sweep" `Quick
+      test_server_crash_time_sweep;
+  ]
+
+let () = Alcotest.run "rrq-request" [ ("system-model", suite) ]

@@ -1,0 +1,39 @@
+(* Seeded mini-soaks inside the regular test suite: random crash/partition
+   schedules against the single-site system model and the 3-site transfer
+   chain. The full-size version is `rrq_demo soak`. *)
+
+module E_soak = Rrq_harness.E_soak
+
+let check_ok tag (r : E_soak.result) =
+  Alcotest.(check int) (tag ^ ": nothing lost") 0 r.E_soak.lost;
+  Alcotest.(check int) (tag ^ ": nothing duplicated") 0 r.E_soak.duplicated;
+  Alcotest.(check int)
+    (tag ^ ": every reply delivered")
+    r.E_soak.requests r.E_soak.replies
+
+let test_request_soak () =
+  List.iter
+    (fun seed ->
+      let r =
+        E_soak.run ~seed ~clients:4 ~per_client:5 ~drop:0.08 ~crash_mean:3.0 ()
+      in
+      check_ok (Printf.sprintf "seed %d" seed) r)
+    [ 101; 102; 103 ]
+
+let test_chain_soak () =
+  List.iter
+    (fun seed ->
+      let r = E_soak.run_chain ~seed ~transfers:4 ()
+      in
+      check_ok (Printf.sprintf "chain seed %d" seed) r)
+    [ 201; 202 ]
+
+let () =
+  Alcotest.run "rrq-soak"
+    [
+      ( "soak",
+        [
+          Alcotest.test_case "request soak (3 seeds)" `Quick test_request_soak;
+          Alcotest.test_case "chain soak (2 seeds)" `Quick test_chain_soak;
+        ] );
+    ]

@@ -1,0 +1,323 @@
+(* Tests for the simulated disk and the write-ahead log, including crash
+   and torn-write recovery properties. *)
+
+module Disk = Rrq_storage.Disk
+module Wal = Rrq_wal.Wal
+module Rng = Rrq_util.Rng
+module Codec = Rrq_util.Codec
+
+(* --- Disk ---------------------------------------------------------- *)
+
+let test_disk_sync_survives_crash () =
+  let d = Disk.create "d0" in
+  let f = Disk.open_file d "a" in
+  Disk.append f "hello";
+  Disk.sync f;
+  Disk.append f "lost";
+  Alcotest.(check string) "pre-crash read sees all" "hellolost" (Disk.read f);
+  Disk.crash d;
+  Alcotest.(check string) "post-crash only synced" "hello" (Disk.read f)
+
+let test_disk_atomic_replace () =
+  let d = Disk.create "d0" in
+  Disk.replace_atomic d "ck" "v1";
+  Disk.crash d;
+  Alcotest.(check (option string)) "atomic replace durable" (Some "v1")
+    (Disk.read_file d "ck");
+  Disk.replace_atomic d "ck" "v2";
+  Alcotest.(check (option string)) "replaced" (Some "v2") (Disk.read_file d "ck")
+
+let test_disk_delete_and_list () =
+  let d = Disk.create "d0" in
+  ignore (Disk.open_file d "x");
+  ignore (Disk.open_file d "y");
+  Alcotest.(check (list string)) "listed" [ "x"; "y" ] (Disk.list_files d);
+  Disk.delete d "x";
+  Alcotest.(check bool) "gone" false (Disk.exists d "x")
+
+let test_disk_counters () =
+  let d = Disk.create "d0" in
+  let f = Disk.open_file d "a" in
+  Disk.append f "12345";
+  Disk.sync f;
+  Alcotest.(check int) "synced bytes" 5 (Disk.synced_bytes d);
+  Alcotest.(check int) "sync count" 1 (Disk.sync_count d);
+  Disk.reset_counters d;
+  Alcotest.(check int) "reset" 0 (Disk.synced_bytes d)
+
+(* --- WAL ----------------------------------------------------------- *)
+
+let test_wal_roundtrip () =
+  let d = Disk.create "d0" in
+  let w, r0 = Wal.open_log d ~name:"log" in
+  Alcotest.(check (option string)) "fresh: no snapshot" None r0.Wal.snapshot;
+  Alcotest.(check (list string)) "fresh: no records" [] r0.Wal.records;
+  Wal.append w "one";
+  Wal.append w "two";
+  Wal.sync w;
+  let _, r1 = Wal.open_log d ~name:"log" in
+  Alcotest.(check (list string)) "recovered" [ "one"; "two" ] r1.Wal.records
+
+let test_wal_unsynced_lost () =
+  let d = Disk.create "d0" in
+  let w, _ = Wal.open_log d ~name:"log" in
+  Wal.append_sync w "durable";
+  Wal.append w "volatile";
+  Disk.crash d;
+  let _, r = Wal.open_log d ~name:"log" in
+  Alcotest.(check (list string)) "only synced survives" [ "durable" ] r.Wal.records
+
+let test_wal_checkpoint_truncates () =
+  let d = Disk.create "d0" in
+  let w, _ = Wal.open_log d ~name:"log" in
+  Wal.append_sync w "a";
+  Wal.append_sync w "b";
+  Wal.checkpoint w "SNAP";
+  Wal.append_sync w "c";
+  let _, r = Wal.open_log d ~name:"log" in
+  Alcotest.(check (option string)) "snapshot" (Some "SNAP") r.Wal.snapshot;
+  Alcotest.(check (list string)) "post-ckpt records only" [ "c" ] r.Wal.records
+
+let test_wal_since_checkpoint_counter () =
+  let d = Disk.create "d0" in
+  let w, _ = Wal.open_log d ~name:"log" in
+  Wal.append_sync w "a";
+  Alcotest.(check int) "one" 1 (Wal.records_since_checkpoint w);
+  Wal.checkpoint w "s";
+  Alcotest.(check int) "zero" 0 (Wal.records_since_checkpoint w)
+
+let test_wal_append_after_recovery () =
+  let d = Disk.create "d0" in
+  let w1, _ = Wal.open_log d ~name:"log" in
+  Wal.append_sync w1 "a";
+  Disk.crash d;
+  let w2, r = Wal.open_log d ~name:"log" in
+  Alcotest.(check (list string)) "a recovered" [ "a" ] r.Wal.records;
+  Wal.append_sync w2 "b";
+  let _, r2 = Wal.open_log d ~name:"log" in
+  Alcotest.(check (list string)) "both" [ "a"; "b" ] r2.Wal.records
+
+let test_wal_torn_tail_truncated () =
+  (* Write a frame, then corrupt its tail manually by syncing only part of
+     it: emulate by appending garbage that is not a valid frame. *)
+  let d = Disk.create "d0" in
+  let w, _ = Wal.open_log d ~name:"log" in
+  Wal.append_sync w "good";
+  (* A torn half-frame at the durable tail: *)
+  let f = Disk.open_file d "log.seg0" in
+  Disk.append f "\x99\x00\x00garbage";
+  Disk.sync f;
+  let w2, r = Wal.open_log d ~name:"log" in
+  Alcotest.(check (list string)) "good record kept" [ "good" ] r.Wal.records;
+  Wal.append_sync w2 "after";
+  let _, r2 = Wal.open_log d ~name:"log" in
+  Alcotest.(check (list string)) "log usable after torn tail" [ "good"; "after" ]
+    r2.Wal.records
+
+let test_wal_segment_gc () =
+  let d = Disk.create "d0" in
+  let w, _ = Wal.open_log d ~name:"log" in
+  for i = 1 to 5 do
+    Wal.append_sync w (Printf.sprintf "r%d" i)
+  done;
+  let files_before = List.length (Disk.list_files d) in
+  Wal.checkpoint w "S1";
+  Wal.append_sync w "r6";
+  Wal.checkpoint w "S2";
+  Wal.append_sync w "r7";
+  (* old segments must have been deleted *)
+  let seg_files =
+    List.filter
+      (fun f -> String.length f > 7 && String.sub f 0 7 = "log.seg")
+      (Disk.list_files d)
+  in
+  Alcotest.(check int) "exactly one live segment" 1 (List.length seg_files);
+  Alcotest.(check bool) "file count bounded" true
+    (List.length (Disk.list_files d) <= files_before + 1);
+  let _, r = Wal.open_log d ~name:"log" in
+  Alcotest.(check (option string)) "latest snapshot" (Some "S2") r.Wal.snapshot;
+  Alcotest.(check (list string)) "post-ckpt records" [ "r7" ] r.Wal.records
+
+let test_wal_live_log_bytes_shrinks () =
+  let d = Disk.create "d0" in
+  let w, _ = Wal.open_log d ~name:"log" in
+  for _ = 1 to 50 do
+    Wal.append_sync w (String.make 100 'x')
+  done;
+  let before = Wal.live_log_bytes w in
+  Wal.checkpoint w "snap";
+  Alcotest.(check bool) "log shrank" true (Wal.live_log_bytes w < before / 10)
+
+(* Property: for any interleaving of appends/syncs/crashes, recovery yields
+   a prefix of the appended records that includes every synced record. *)
+let prop_wal_prefix_durability =
+  QCheck2.Test.make ~name:"wal recovers synced-prefix" ~count:200
+    QCheck2.Gen.(list_size (int_bound 60) (int_range 0 2))
+    (fun script ->
+      let d = Disk.create ~torn_writes:true ~rng:(Rng.create 7) "d" in
+      let w = ref (fst (Wal.open_log d ~name:"log")) in
+      let appended = ref [] in
+      let synced_hwm = ref 0 in
+      let n = ref 0 in
+      List.iter
+        (fun op ->
+          match op with
+          | 0 ->
+            incr n;
+            let r = Printf.sprintf "r%d" !n in
+            Wal.append !w r;
+            appended := !appended @ [ r ]
+          | 1 ->
+            Wal.sync !w;
+            synced_hwm := List.length !appended
+          | _ ->
+            Disk.crash d;
+            let w', rec_ = Wal.open_log d ~name:"log" in
+            w := w';
+            (* Recovered records must be a prefix of appended covering all
+               synced ones. *)
+            let recs = rec_.Wal.records in
+            let len = List.length recs in
+            if len < !synced_hwm then failwith "lost synced record";
+            if len > List.length !appended then failwith "phantom record";
+            List.iteri
+              (fun i r ->
+                if List.nth !appended i <> r then failwith "order mismatch")
+              recs;
+            appended := recs;
+            synced_hwm := len)
+        script;
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "disk: sync survives crash" `Quick
+      test_disk_sync_survives_crash;
+    Alcotest.test_case "disk: atomic replace" `Quick test_disk_atomic_replace;
+    Alcotest.test_case "disk: delete/list" `Quick test_disk_delete_and_list;
+    Alcotest.test_case "disk: counters" `Quick test_disk_counters;
+    Alcotest.test_case "wal: roundtrip" `Quick test_wal_roundtrip;
+    Alcotest.test_case "wal: unsynced lost" `Quick test_wal_unsynced_lost;
+    Alcotest.test_case "wal: checkpoint truncates" `Quick
+      test_wal_checkpoint_truncates;
+    Alcotest.test_case "wal: since-checkpoint counter" `Quick
+      test_wal_since_checkpoint_counter;
+    Alcotest.test_case "wal: append after recovery" `Quick
+      test_wal_append_after_recovery;
+    Alcotest.test_case "wal: torn tail truncated" `Quick
+      test_wal_torn_tail_truncated;
+    Alcotest.test_case "wal: segment gc" `Quick test_wal_segment_gc;
+    Alcotest.test_case "wal: live bytes shrink at checkpoint" `Quick
+      test_wal_live_log_bytes_shrinks;
+    QCheck_alcotest.to_alcotest prop_wal_prefix_durability;
+  ]
+
+(* --- Codec --------------------------------------------------------- *)
+
+let test_codec_roundtrip () =
+  let e = Codec.encoder () in
+  Codec.int e 42;
+  Codec.i64 e (-7L);
+  Codec.bool e true;
+  Codec.float e 3.25;
+  Codec.string e "hello";
+  Codec.option Codec.string e None;
+  Codec.option Codec.int e (Some 9);
+  Codec.list Codec.string e [ "a"; "b" ];
+  Codec.pair Codec.int Codec.string e (1, "x");
+  let d = Codec.decoder (Codec.to_string e) in
+  Alcotest.(check int) "int" 42 (Codec.get_int d);
+  Alcotest.(check int64) "i64" (-7L) (Codec.get_i64 d);
+  Alcotest.(check bool) "bool" true (Codec.get_bool d);
+  Alcotest.(check (float 0.0)) "float" 3.25 (Codec.get_float d);
+  Alcotest.(check string) "string" "hello" (Codec.get_string d);
+  Alcotest.(check (option string)) "none" None (Codec.get_option Codec.get_string d);
+  Alcotest.(check (option int)) "some" (Some 9) (Codec.get_option Codec.get_int d);
+  Alcotest.(check (list string)) "list" [ "a"; "b" ] (Codec.get_list Codec.get_string d);
+  let p = Codec.get_pair Codec.get_int Codec.get_string d in
+  Alcotest.(check (pair int string)) "pair" (1, "x") p;
+  Alcotest.(check bool) "at end" true (Codec.at_end d)
+
+let test_codec_truncated () =
+  let d = Codec.decoder "\x01" in
+  Alcotest.check_raises "truncated i64"
+    (Codec.Decode_error "truncated input at 0 (+8 > 1)") (fun () ->
+      ignore (Codec.get_i64 d))
+
+let prop_codec_string_roundtrip =
+  QCheck2.Test.make ~name:"codec string roundtrip" ~count:200
+    QCheck2.Gen.(list_size (int_bound 20)
+                   (string_size ~gen:printable (int_bound 40)))
+    (fun ss ->
+      let e = Codec.encoder () in
+      Codec.list Codec.string e ss;
+      let d = Codec.decoder (Codec.to_string e) in
+      Codec.get_list Codec.get_string d = ss && Codec.at_end d)
+
+let codec_suite =
+  [
+    Alcotest.test_case "codec roundtrip" `Quick test_codec_roundtrip;
+    Alcotest.test_case "codec truncated input" `Quick test_codec_truncated;
+    QCheck_alcotest.to_alcotest prop_codec_string_roundtrip;
+  ]
+
+(* --- Rng / Histogram ----------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 1 and b = Rng.create 1 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 42 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 10 in
+    if v < 0 || v >= 10 then Alcotest.fail "int out of bounds";
+    let f = Rng.float r 2.0 in
+    if f < 0.0 || f >= 2.0 then Alcotest.fail "float out of bounds";
+    let z = Rng.zipf r ~n:100 ~theta:0.9 in
+    if z < 0 || z >= 100 then Alcotest.fail "zipf out of bounds"
+  done
+
+let test_rng_zipf_skew () =
+  let r = Rng.create 7 in
+  let hits = Array.make 100 0 in
+  for _ = 1 to 10_000 do
+    let z = Rng.zipf r ~n:100 ~theta:0.9 in
+    hits.(z) <- hits.(z) + 1
+  done;
+  Alcotest.(check bool) "head is hot" true (hits.(0) > hits.(50) * 5)
+
+let test_histogram () =
+  let h = Rrq_util.Histogram.create () in
+  for i = 1 to 100 do
+    Rrq_util.Histogram.add h (float_of_int i)
+  done;
+  let open Rrq_util.Histogram in
+  Alcotest.(check int) "count" 100 (count h);
+  Alcotest.(check (float 1e-9)) "mean" 50.5 (mean h);
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (percentile h 0.5);
+  Alcotest.(check (float 1e-9)) "p99" 99.0 (percentile h 0.99);
+  Alcotest.(check (float 1e-9)) "max" 100.0 (max_value h);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (min_value h)
+
+let test_table_render () =
+  let t = Rrq_util.Table.create ~title:"T" ~columns:[ "a"; "bb" ] in
+  Rrq_util.Table.add_row t [ "1"; "2" ];
+  let s = Rrq_util.Table.render t in
+  Alcotest.(check bool) "has title" true
+    (String.length s > 0 && String.sub s 0 6 = "== T =")
+
+let util_suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng zipf skew" `Quick test_rng_zipf_skew;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "table render" `Quick test_table_render;
+  ]
+
+let () =
+  Alcotest.run "rrq-storage-wal"
+    [ ("disk+wal", suite); ("codec", codec_suite); ("util", util_suite) ]

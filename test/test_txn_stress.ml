@@ -1,0 +1,187 @@
+(* Concurrency stress tests: many interleaved transactions against the
+   lock manager / KV store (no lost updates despite deadlock-retry storms),
+   and concurrent cross-site queue moves under crashes (conservation). *)
+
+module Sched = Rrq_sim.Sched
+module Net = Rrq_net.Net
+module Rng = Rrq_util.Rng
+module Tm = Rrq_txn.Tm
+module Kvdb = Rrq_kvdb.Kvdb
+module Qm = Rrq_qm.Qm
+module Site = Rrq_core.Site
+module Envelope = Rrq_core.Envelope
+module H = Rrq_test_support.Sim_harness
+
+(* Every committed transaction increments a few random keys and the grand
+   total. The final database must equal the count of commits — no lost
+   updates, no phantom updates — despite deadlocks forcing retries. *)
+let test_no_lost_updates_under_contention () =
+  let commits_per_key = Array.make 5 0 in
+  let total_commits = ref 0 in
+  let _ =
+    H.run (fun s ->
+        let net = Net.create s (Rng.create 21) in
+        let backend = Site.create ~stale_timeout:60.0 (Net.make_node net "b") in
+        let rng = Rng.create 22 in
+        for f = 1 to 20 do
+          ignore
+            (Sched.spawn s ~group:"workers" ~name:(Printf.sprintf "w%d" f)
+               (fun () ->
+                 for _ = 1 to 10 do
+                   (* pick 2 distinct keys; lock order randomized on purpose
+                      so deadlocks actually occur *)
+                   let a = Rng.int rng 5 in
+                   let b = (a + 1 + Rng.int rng 4) mod 5 in
+                   let rec attempt tries =
+                     if tries > 50 then Alcotest.fail "starved out"
+                     else begin
+                       match
+                         Site.with_txn backend (fun txn ->
+                             let kv = Site.kv backend in
+                             let id = Tm.txn_id txn in
+                             ignore (Kvdb.add kv id (Printf.sprintf "k%d" a) 1);
+                             Sched.sleep 0.001 (* widen the deadlock window *);
+                             ignore (Kvdb.add kv id (Printf.sprintf "k%d" b) 1);
+                             ignore (Kvdb.add kv id "grand" 1))
+                       with
+                       | () ->
+                         commits_per_key.(a) <- commits_per_key.(a) + 1;
+                         commits_per_key.(b) <- commits_per_key.(b) + 1;
+                         incr total_commits
+                       | exception Site.Aborted _ ->
+                         Sched.sleep 0.002;
+                         attempt (tries + 1)
+                     end
+                   in
+                   attempt 0
+                 done));
+        done;
+        Sched.at s 300.0 (fun () -> ()) (* keep virtual time bounded *);
+        ignore
+          (Sched.spawn s ~name:"auditor" (fun () ->
+               let rec wait () =
+                 if !total_commits < 200 then begin
+                   Sched.sleep 0.5;
+                   wait ()
+                 end
+               in
+               wait ();
+               let kv = Site.kv backend in
+               Alcotest.(check int) "all transactions committed" 200 !total_commits;
+               for k = 0 to 4 do
+                 let v =
+                   match Kvdb.committed_value kv (Printf.sprintf "k%d" k) with
+                   | Some s -> int_of_string s
+                   | None -> 0
+                 in
+                 Alcotest.(check int)
+                   (Printf.sprintf "k%d consistent" k)
+                   commits_per_key.(k) v
+               done;
+               Alcotest.(check (option string)) "grand total" (Some "200")
+                 (Kvdb.committed_value kv "grand"))))
+  in
+  ()
+
+(* Three concurrent movers shuttle elements from a source site to a sink
+   site (local dequeue + remote enqueue, 2PC each) while the sink crashes
+   twice. Every element must end up at the sink exactly once. *)
+let test_concurrent_cross_site_moves_conserve () =
+  let _ =
+    H.run (fun s ->
+        let net = Net.create s (Rng.create 23) in
+        let src =
+          Site.create ~queues:[ ("out", Qm.default_attrs) ] ~stale_timeout:2.0
+            (Net.make_node net "src")
+        in
+        let sink =
+          Site.create ~queues:[ ("in", Qm.default_attrs) ] ~stale_timeout:2.0
+            (Net.make_node net "sink")
+        in
+        (* 30 elements to move *)
+        ignore
+          (Sched.spawn s ~name:"loader" (fun () ->
+               let qm = Site.qm src in
+               let h, _ =
+                 Qm.register qm ~queue:"out" ~registrant:"loader" ~stable:false
+               in
+               for i = 1 to 30 do
+                 ignore
+                   (Qm.auto_commit qm (fun id ->
+                        Qm.enqueue qm id h
+                          ~props:[ ("n", string_of_int i) ]
+                          (Printf.sprintf "item%d" i)))
+               done));
+        Sched.at s 1.0 (fun () -> Site.crash_restart sink ~after:1.5);
+        Sched.at s 5.0 (fun () -> Site.crash_restart sink ~after:1.5);
+        for m = 1 to 3 do
+          ignore
+            (Sched.spawn s ~group:"movers" ~name:(Printf.sprintf "mover%d" m)
+               (fun () ->
+                 let qm = Site.qm src in
+                 let h, _ =
+                   Qm.register qm ~queue:"out"
+                     ~registrant:(Printf.sprintf "mover%d" m) ~stable:false
+                 in
+                 let rec loop idle =
+                   if idle > 40 then () (* source stayed empty: done *)
+                   else begin
+                     match
+                       Site.with_txn src (fun txn ->
+                           match
+                             Qm.dequeue qm (Tm.txn_id txn) h (Qm.Timeout 0.5)
+                           with
+                           | None -> false
+                           | Some el ->
+                             Site.remote_enqueue src txn ~dst:"sink" ~queue:"in"
+                               ~props:el.Rrq_qm.Element.props
+                               el.Rrq_qm.Element.payload;
+                             true)
+                     with
+                     | true -> loop 0
+                     | false -> loop (idle + 1)
+                     | exception Site.Aborted _ ->
+                       Sched.sleep 0.3;
+                       loop 0
+                   end
+                 in
+                 loop 0))
+        done;
+        ignore
+          (Sched.spawn s ~name:"auditor" (fun () ->
+               let rec wait n =
+                 if n > 600 then Alcotest.fail "moves never completed"
+                 else if Qm.depth (Site.qm sink) "in" < 30
+                         || Qm.depth (Site.qm src) "out" > 0
+                 then begin
+                   Sched.sleep 0.5;
+                   wait (n + 1)
+                 end
+               in
+               wait 0;
+               Sched.sleep 10.0;
+               Alcotest.(check int) "source drained" 0
+                 (Qm.depth (Site.qm src) "out");
+               Alcotest.(check int) "sink has exactly 30" 30
+                 (Qm.depth (Site.qm sink) "in");
+               (* no duplicates: the 30 distinct "n" properties *)
+               let ns =
+                 Qm.elements (Site.qm sink) "in"
+                 |> List.filter_map (fun el -> Rrq_qm.Element.prop el "n")
+                 |> List.sort_uniq compare
+               in
+               Alcotest.(check int) "all distinct" 30 (List.length ns))))
+  in
+  ()
+
+let () =
+  Alcotest.run "rrq-txn-stress"
+    [
+      ( "stress",
+        [
+          Alcotest.test_case "no lost updates under contention" `Quick
+            test_no_lost_updates_under_contention;
+          Alcotest.test_case "concurrent cross-site moves conserve" `Quick
+            test_concurrent_cross_site_moves_conserve;
+        ] );
+    ]
