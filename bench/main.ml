@@ -116,46 +116,204 @@ let run_b1 () =
              | None -> "?"
            in
            Table.add_row t [ name; est; r2 ]));
-  Table.print t
+  t
 
-(* ---- experiment tables -------------------------------------------------- *)
+(* ---- experiment registry ------------------------------------------------ *)
 
-let section title = Printf.printf "\n######## %s ########\n\n%!" title
+(* Every section is addressable by id for [--only] and serialized by
+   [--json]; the thunk keeps unselected experiments from running. *)
+type sect = { id : string; heading : string; produce : unit -> Table.t }
+
+let sections =
+  [
+    {
+      id = "E1";
+      heading = "E1 - exactly-once request processing (figs. 4/5)";
+      produce =
+        (fun () ->
+          Rrq_harness.E_exactly_once.table (Rrq_harness.E_exactly_once.run ()));
+    };
+    {
+      id = "E2";
+      heading = "E2 - multi-transaction request chains (fig. 6)";
+      produce =
+        (fun () ->
+          Rrq_harness.E_chain.crash_table (Rrq_harness.E_chain.run_crash_matrix ()));
+    };
+    {
+      id = "E3";
+      heading = "E3 - interactive requests (fig. 7, sec. 8)";
+      produce =
+        (fun () ->
+          Rrq_harness.E_interactive.table (Rrq_harness.E_interactive.run ()));
+    };
+    {
+      id = "B1";
+      heading = "B1 - queue operation micro-costs (sec. 10)";
+      produce = run_b1;
+    };
+    {
+      id = "B2";
+      heading = "B2 - lock-holding client designs (sec. 2)";
+      produce =
+        (fun () ->
+          Rrq_harness.E_contention.table (Rrq_harness.E_contention.run ()));
+    };
+    {
+      id = "B3";
+      heading = "B3/B5 - dequeue concurrency & load sharing (secs. 1, 10)";
+      produce =
+        (fun () ->
+          Rrq_harness.E_queueing.drain_table (Rrq_harness.E_queueing.run_drain ()));
+    };
+    {
+      id = "B4";
+      heading = "B4 - burst absorption (sec. 1)";
+      produce =
+        (fun () ->
+          Rrq_harness.E_queueing.burst_table (Rrq_harness.E_queueing.run_burst ()));
+    };
+    {
+      id = "B6";
+      heading = "B6 - chain vs one long transaction (sec. 6)";
+      produce =
+        (fun () ->
+          Rrq_harness.E_chain.contention_table (Rrq_harness.E_chain.run_contention ()));
+    };
+    {
+      id = "B7";
+      heading = "B7 - recovery and checkpointing (sec. 10)";
+      produce =
+        (fun () -> Rrq_harness.E_recovery.table (Rrq_harness.E_recovery.run ()));
+    };
+    {
+      id = "B8";
+      heading = "B8 - request serializability via lock inheritance (sec. 6)";
+      produce =
+        (fun () ->
+          Rrq_harness.E_chain.serializability_table
+            (Rrq_harness.E_chain.run_serializability ()));
+    };
+    {
+      id = "B9";
+      heading = "B9 - replicated queues (sec. 11)";
+      produce =
+        (fun () ->
+          Rrq_harness.E_replication.table (Rrq_harness.E_replication.run ()));
+    };
+    {
+      id = "B10";
+      heading = "B10 - streaming requests and replies (sec. 11)";
+      produce =
+        (fun () -> Rrq_harness.E_stream.table (Rrq_harness.E_stream.run ()));
+    };
+    {
+      id = "B11";
+      heading = "B11 - priority scheduling (sec. 11)";
+      produce =
+        (fun () ->
+          Rrq_harness.E_queueing.priority_table
+            (Rrq_harness.E_queueing.run_priority ()));
+    };
+    {
+      id = "B12";
+      heading = "B12 - group commit on the commit path (sec. 10)";
+      produce =
+        (fun () ->
+          Rrq_harness.E_group_commit.table (Rrq_harness.E_group_commit.run ()));
+    };
+    {
+      id = "A1";
+      heading = "A1 - ablation: error queues vs cyclic restart (secs. 4.2, 5)";
+      produce =
+        (fun () ->
+          Rrq_harness.E_queueing.poison_table (Rrq_harness.E_queueing.run_poison ()));
+    };
+  ]
+
+(* ---- JSON export -------------------------------------------------------- *)
+
+(* Hand-rolled: the build deliberately has no JSON dependency. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = "\"" ^ json_escape s ^ "\""
+
+let json_of_table id (t : Table.t) =
+  let arr items = "[" ^ String.concat ", " items ^ "]" in
+  Printf.sprintf
+    "    {\n      \"id\": %s,\n      \"title\": %s,\n      \"columns\": %s,\n      \"rows\": [\n%s\n      ]\n    }"
+    (json_string id)
+    (json_string (Table.title t))
+    (arr (List.map json_string (Table.columns t)))
+    (String.concat ",\n"
+       (List.map
+          (fun row -> "        " ^ arr (List.map json_string row))
+          (Table.rows t)))
+
+let write_json file results =
+  let oc = open_out file in
+  output_string oc
+    (Printf.sprintf "{\n  \"sections\": [\n%s\n  ]\n}\n"
+       (String.concat ",\n"
+          (List.map (fun (id, t) -> json_of_table id t) results)));
+  close_out oc;
+  Printf.printf "wrote %s (%d sections)\n%!" file (List.length results)
+
+(* ---- driver ------------------------------------------------------------- *)
+
+let usage () =
+  print_endline "usage: main.exe [--only ID]... [--json FILE]";
+  print_endline "  --only ID    run only the section with this id (repeatable);";
+  print_endline "               ids: E1 E2 E3 B1 B2 B3 B4 B6 B7 B8 B9 B10 B11 B12 A1";
+  print_endline "  --json FILE  also write the selected tables to FILE as JSON";
+  exit 2
+
+let parse_args () =
+  let only = ref [] and json = ref None in
+  let rec go = function
+    | [] -> ()
+    | "--only" :: id :: rest ->
+      if not (List.exists (fun s -> s.id = id) sections) then begin
+        Printf.eprintf "unknown section id %s\n" id;
+        usage ()
+      end;
+      only := id :: !only;
+      go rest
+    | "--json" :: file :: rest ->
+      json := Some file;
+      go rest
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (List.rev !only, !json)
 
 let () =
-  section "E1 - exactly-once request processing (figs. 4/5)";
-  Table.print
-    (Rrq_harness.E_exactly_once.table (Rrq_harness.E_exactly_once.run ()));
-  section "E2 - multi-transaction request chains (fig. 6)";
-  Table.print (Rrq_harness.E_chain.crash_table (Rrq_harness.E_chain.run_crash_matrix ()));
-  section "E3 - interactive requests (fig. 7, sec. 8)";
-  Table.print (Rrq_harness.E_interactive.table (Rrq_harness.E_interactive.run ()));
-  section "B1 - queue operation micro-costs (sec. 10)";
-  run_b1 ();
-  section "B2 - lock-holding client designs (sec. 2)";
-  Table.print (Rrq_harness.E_contention.table (Rrq_harness.E_contention.run ()));
-  section "B3/B5 - dequeue concurrency & load sharing (secs. 1, 10)";
-  Table.print (Rrq_harness.E_queueing.drain_table (Rrq_harness.E_queueing.run_drain ()));
-  section "B4 - burst absorption (sec. 1)";
-  Table.print (Rrq_harness.E_queueing.burst_table (Rrq_harness.E_queueing.run_burst ()));
-  section "B6 - chain vs one long transaction (sec. 6)";
-  Table.print
-    (Rrq_harness.E_chain.contention_table (Rrq_harness.E_chain.run_contention ()));
-  section "B7 - recovery and checkpointing (sec. 10)";
-  Table.print (Rrq_harness.E_recovery.table (Rrq_harness.E_recovery.run ()));
-  section "B8 - request serializability via lock inheritance (sec. 6)";
-  Table.print
-    (Rrq_harness.E_chain.serializability_table
-       (Rrq_harness.E_chain.run_serializability ()));
-  section "B9 - replicated queues (sec. 11)";
-  Table.print
-    (Rrq_harness.E_replication.table (Rrq_harness.E_replication.run ()));
-  section "B10 - streaming requests and replies (sec. 11)";
-  Table.print (Rrq_harness.E_stream.table (Rrq_harness.E_stream.run ()));
-  section "B11 - priority scheduling (sec. 11)";
-  Table.print
-    (Rrq_harness.E_queueing.priority_table (Rrq_harness.E_queueing.run_priority ()));
-  section "A1 - ablation: error queues vs cyclic restart (secs. 4.2, 5)";
-  Table.print
-    (Rrq_harness.E_queueing.poison_table (Rrq_harness.E_queueing.run_poison ()));
-  print_endline "all experiments completed"
+  let only, json = parse_args () in
+  let selected =
+    match only with
+    | [] -> sections
+    | ids -> List.filter (fun s -> List.mem s.id ids) sections
+  in
+  let results =
+    List.map
+      (fun s ->
+        Printf.printf "\n######## %s ########\n\n%!" s.heading;
+        let t = s.produce () in
+        Table.print t;
+        (s.id, t))
+      selected
+  in
+  (match json with Some file -> write_json file results | None -> ());
+  Printf.printf "all experiments completed (%d sections)\n" (List.length results)

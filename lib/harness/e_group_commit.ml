@@ -1,0 +1,135 @@
+(* B12: group commit on the commit path. See the .mli for the paper claim.
+
+   The rig deliberately bypasses Site/Server: we want the commit path and
+   nothing else. A queue is preloaded with jobs; [servers] fibers drain it
+   with auto-committed dequeues against a disk whose flushes take
+   [sync_latency] virtual seconds each (and serialize on the device). Under
+   [Immediate] every commit pays its own flush, so total throughput is
+   pinned near 1/sync_latency no matter how many servers run; under [Batch]
+   one flush covers a whole boatload of commits. *)
+
+module Sched = Rrq_sim.Sched
+module Disk = Rrq_storage.Disk
+module Group_commit = Rrq_wal.Group_commit
+module Qm = Rrq_qm.Qm
+module Table = Rrq_util.Table
+module Histogram = Rrq_util.Histogram
+
+type row = {
+  policy : string;
+  servers : int;
+  commits : int;
+  elapsed : float;
+  commits_per_sec : float;
+  syncs_per_commit : float;
+  commit_p50 : float;
+  commit_p99 : float;
+}
+
+let policy_name = function
+  | Group_commit.Immediate -> "immediate"
+  | Group_commit.Batch { max_delay; max_batch } ->
+    Printf.sprintf "batch (%.1fms/%d)" (max_delay *. 1000.0) max_batch
+
+let one_run ~policy ~servers ~jobs ~sync_latency =
+  Common.run_scenario (fun s ->
+      let disk = Disk.create ~sync_latency "b12" in
+      let qm = Qm.open_qm ~commit_policy:policy disk ~name:"qm" in
+      Qm.set_clock qm (fun () -> Sched.now s);
+      Qm.create_queue qm "req";
+      let lat = Histogram.create () in
+      let commits = ref 0 in
+      let last_commit = ref 0.0 in
+      fun () ->
+        let h, _ =
+          Qm.register qm ~queue:"req" ~registrant:"drain" ~stable:false
+        in
+        for i = 1 to jobs do
+          ignore
+            (Qm.auto_commit qm (fun id ->
+                 Qm.enqueue qm id h (Printf.sprintf "job%d" i)))
+        done;
+        (* Only the drain phase is under measurement. *)
+        Disk.reset_counters disk;
+        let start = Sched.clock () in
+        let fibers =
+          List.init servers (fun i ->
+              Sched.fork ~name:(Printf.sprintf "server%d" i) (fun () ->
+                  let rec loop () =
+                    let t0 = Sched.clock () in
+                    match
+                      Qm.auto_commit qm (fun id ->
+                          Qm.dequeue qm id h Qm.No_wait)
+                    with
+                    | Some _ ->
+                      Histogram.add lat (Sched.clock () -. t0);
+                      incr commits;
+                      last_commit := Sched.clock ();
+                      loop ()
+                    | None -> ()
+                  in
+                  loop ()))
+        in
+        ignore
+          (Common.await ~timeout:3000.0 ~poll:0.01 (fun () ->
+               not (List.exists Sched.alive fibers)));
+        (* Poll granularity must not skew throughput: stop the clock at the
+           last commit, not at the poll that noticed it. *)
+        let elapsed = !last_commit -. start in
+        {
+          policy = policy_name policy;
+          servers;
+          commits = !commits;
+          elapsed;
+          commits_per_sec =
+            (if elapsed > 0.0 then float_of_int !commits /. elapsed else 0.0);
+          syncs_per_commit =
+            (if !commits > 0 then
+               float_of_int (Disk.sync_count disk) /. float_of_int !commits
+             else 0.0);
+          commit_p50 = Histogram.percentile lat 0.50;
+          commit_p99 = Histogram.percentile lat 0.99;
+        })
+
+let default_batch = Group_commit.Batch { max_delay = 0.0005; max_batch = 64 }
+
+let run ?(jobs = 200) ?(sync_latency = 0.001) () =
+  List.concat_map
+    (fun servers ->
+      List.map
+        (fun policy -> one_run ~policy ~servers ~jobs ~sync_latency)
+        [ Group_commit.Immediate; default_batch ])
+    [ 1; 2; 4; 8; 16 ]
+
+let table rows =
+  let t =
+    Table.create
+      ~title:
+        "B12: group commit - 200 auto-committed dequeues, 1ms disk flush (sec. 10)"
+      ~columns:
+        [
+          "policy";
+          "servers";
+          "commits";
+          "elapsed (s)";
+          "commits/s";
+          "syncs/commit";
+          "p50 commit (ms)";
+          "p99 commit (ms)";
+        ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          r.policy;
+          string_of_int r.servers;
+          string_of_int r.commits;
+          Printf.sprintf "%.3f" r.elapsed;
+          Printf.sprintf "%.0f" r.commits_per_sec;
+          Printf.sprintf "%.3f" r.syncs_per_commit;
+          Printf.sprintf "%.2f" (r.commit_p50 *. 1000.0);
+          Printf.sprintf "%.2f" (r.commit_p99 *. 1000.0);
+        ])
+    rows;
+  t

@@ -1,0 +1,39 @@
+(** B12: the commit-path cost of one log force per transaction, and how
+    group commit removes it.
+
+    Paper §10 prices a recoverable queue operation at "a disk write to log
+    the update" — with one forced write per enqueue/dequeue, the log device
+    caps system throughput at one transaction per device flush regardless
+    of server parallelism. This experiment drains a preloaded queue with N
+    concurrent server fibers over a disk whose flush occupies the device
+    for a fixed virtual latency, comparing the [Immediate] (one sync per
+    commit) and [Batch] ({!Rrq_wal.Group_commit}) policies. The batch rows
+    should show syncs/commit well below 1 and throughput scaling with N,
+    while immediate rows stay pinned near [1/sync_latency]. *)
+
+type row = {
+  policy : string;
+  servers : int;
+  commits : int;
+  elapsed : float;  (** Virtual seconds to drain the queue. *)
+  commits_per_sec : float;
+  syncs_per_commit : float;  (** Device flushes per committed dequeue. *)
+  commit_p50 : float;  (** Median dequeue commit latency (virtual s). *)
+  commit_p99 : float;
+}
+
+val default_batch : Rrq_wal.Group_commit.policy
+(** 0.5ms accumulation window, 64-commit batches. *)
+
+val one_run :
+  policy:Rrq_wal.Group_commit.policy ->
+  servers:int ->
+  jobs:int ->
+  sync_latency:float ->
+  row
+
+val run : ?jobs:int -> ?sync_latency:float -> unit -> row list
+(** Sweep servers in [1; 2; 4; 8; 16] under both policies. Defaults: 200
+    jobs, 1ms per device flush. *)
+
+val table : row list -> Rrq_util.Table.t

@@ -57,12 +57,12 @@ let partition t a b = Hashtbl.replace t.cuts (pair a b) ()
 let heal t a b = Hashtbl.remove t.cuts (pair a b)
 let partitioned t a b = Hashtbl.mem t.cuts (pair a b)
 
-let make_node ?(torn_writes = false) t nname =
+let make_node ?(torn_writes = false) ?sync_latency t nname =
   if Hashtbl.mem t.nodes nname then invalid_arg ("duplicate node " ^ nname);
   let node =
     {
       nname;
-      ndisk = Disk.create ~torn_writes ~rng:(Rng.split t.rng) nname;
+      ndisk = Disk.create ~torn_writes ?sync_latency ~rng:(Rng.split t.rng) nname;
       net = t;
       up = true;
       services = Hashtbl.create 8;

@@ -48,8 +48,10 @@ val partitioned : t -> string -> string -> bool
 
 (** {1 Nodes} *)
 
-val make_node : ?torn_writes:bool -> t -> string -> node
-(** Create a node (with its own disk) in the up state. *)
+val make_node : ?torn_writes:bool -> ?sync_latency:float -> t -> string -> node
+(** Create a node (with its own disk) in the up state. [sync_latency]
+    (default 0) is the virtual seconds one disk flush occupies the device —
+    the knob that makes commit-path experiments measure something. *)
 
 val node : t -> string -> node
 (** Look up an existing node by name.

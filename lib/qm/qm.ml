@@ -1,5 +1,6 @@
 module Codec = Rrq_util.Codec
 module Wal = Rrq_wal.Wal
+module Group_commit = Rrq_wal.Group_commit
 module Disk = Rrq_storage.Disk
 module Lock = Rrq_txn.Lock
 module Tm = Rrq_txn.Tm
@@ -98,6 +99,7 @@ type prep = { p_coord : string; p_ops : ws_op list (* oldest first *) }
 type t = {
   qm_name : string;
   wal : Wal.t;
+  gc : Group_commit.t;
   queues : (string, queue) Hashtbl.t;
   index : (int64, string * Element.t) Hashtbl.t;
   regs : (string * string, reg) Hashtbl.t;
@@ -607,15 +609,21 @@ let relock_prepared t =
 
 let log_now t ops =
   let stable = List.filter (fun op -> redo_is_stable t op.op_redo) ops in
-  if stable <> [] then Wal.append_sync t.wal (encode_record k_now None "" stable);
-  List.iter (fun op -> apply t op.op_redo) ops
+  (* Group-commit discipline: append, apply in memory without yielding, then
+     force (which may park the fiber). *)
+  if stable <> [] then
+    Group_commit.append t.gc (encode_record k_now None "" stable);
+  List.iter (fun op -> apply t op.op_redo) ops;
+  if stable <> [] then Group_commit.force t.gc
 
-let open_qm ?(triggers = []) disk ~name:qm_name =
+let open_qm ?commit_policy ?(triggers = []) disk ~name:qm_name =
   let wal, recovered = Wal.open_log disk ~name:(qm_name ^ ".qmlog") in
+  let gc = Group_commit.create ?policy:commit_policy wal in
   let t =
     {
       qm_name;
       wal;
+      gc;
       queues = Hashtbl.create 16;
       index = Hashtbl.create 256;
       regs = Hashtbl.create 32;
@@ -905,8 +913,9 @@ let commit_one_phase t id =
     Hashtbl.remove t.workspaces id;
     let stable = List.filter (fun op -> redo_is_stable t op.op_redo) ops in
     if stable <> [] then
-      Wal.append_sync t.wal (encode_record k_one_phase (Some id) "" stable);
+      Group_commit.append t.gc (encode_record k_one_phase (Some id) "" stable);
     List.iter (fun op -> apply t op.op_redo) ops;
+    if stable <> [] then Group_commit.force t.gc;
     release_locks t id
 
 let prepare t id ~coordinator =
@@ -916,17 +925,20 @@ let prepare t id ~coordinator =
     let ops = List.rev ws.ops in
     Hashtbl.remove t.workspaces id;
     let stable = List.filter (fun op -> redo_is_stable t op.op_redo) ops in
-    Wal.append_sync t.wal (encode_record k_prepare (Some id) coordinator stable);
+    Group_commit.append t.gc
+      (encode_record k_prepare (Some id) coordinator stable);
     Hashtbl.replace t.prepared id { p_coord = coordinator; p_ops = ops };
+    Group_commit.force t.gc;
     true
 
 let commit_prepared t id =
   match Hashtbl.find_opt t.prepared id with
   | None -> release_locks t id
   | Some p ->
-    Wal.append_sync t.wal (encode_record k_commit (Some id) "" []);
+    Group_commit.append t.gc (encode_record k_commit (Some id) "" []);
     List.iter (fun op -> apply t op.op_redo) p.p_ops;
     Hashtbl.remove t.prepared id;
+    Group_commit.force t.gc;
     release_locks t id
 
 (* Returning a dequeued element to its queue after an abort: bump its retry
@@ -970,9 +982,12 @@ let abort t id =
   | None -> ());
   (match Hashtbl.find_opt t.prepared id with
   | Some p ->
-    Wal.append_sync t.wal (encode_record k_abort (Some id) "" []);
+    Group_commit.append t.gc (encode_record k_abort (Some id) "" []);
     Hashtbl.remove t.prepared id;
-    restore p.p_ops
+    restore p.p_ops;
+    (* [restore]'s own force covers the abort record when there were
+       fixups; this one covers the bare-abort case (no-op otherwise). *)
+    Group_commit.force t.gc
   | None -> ());
   release_locks t id
 

@@ -123,6 +123,14 @@ type _ Effect.t +=
 
 let clock () = Effect.perform Clock
 let self () = Effect.perform Self
+
+(* Whether the caller runs inside a fiber (so blocking primitives work).
+   Library code that is also usable outside the simulator — the group-commit
+   force path — uses this to fall back to synchronous behavior. *)
+let in_fiber () =
+  match Effect.perform Self with
+  | (_ : fiber) -> true
+  | exception Effect.Unhandled _ -> false
 let suspend register = Effect.perform (Suspend register)
 
 let sleep d =

@@ -88,6 +88,12 @@ val fork : ?name:string -> (unit -> unit) -> fiber
 val self : unit -> fiber
 (** The calling fiber's handle. *)
 
+val in_fiber : unit -> bool
+(** Whether the caller is running inside a fiber. Blocking primitives are
+    only legal when this is [true]; dual-use library code (e.g. the WAL
+    group-commit force path) checks it to degrade to synchronous behavior
+    outside the simulator. *)
+
 (** {1 Building blocking primitives} *)
 
 type 'a waker

@@ -9,6 +9,8 @@ and t = {
   dname : string;
   torn_writes : bool;
   rng : Rrq_util.Rng.t option;
+  sync_latency : float; (* virtual seconds one flush occupies the device *)
+  mutable busy_until : float; (* device free again at this virtual time *)
   files : (string, file_state) Hashtbl.t;
   mutable last_appended : string option;
   mutable synced_bytes : int;
@@ -19,11 +21,13 @@ and t = {
 
 type file = file_state
 
-let create ?(torn_writes = false) ?rng dname =
+let create ?(torn_writes = false) ?rng ?(sync_latency = 0.0) dname =
   {
     dname;
     torn_writes;
     rng;
+    sync_latency;
+    busy_until = 0.0;
     files = Hashtbl.create 16;
     last_appended = None;
     synced_bytes = 0;
@@ -33,6 +37,17 @@ let create ?(torn_writes = false) ?rng dname =
   }
 
 let name t = t.dname
+let sync_latency t = t.sync_latency
+
+(* The device serves one flush at a time: a sync requested at [now] starts
+   when the previous one finishes and completes [sync_latency] later. The
+   caller (running in a fiber) sleeps for the returned duration before
+   issuing the actual [sync] — this is how the simulator charges realistic
+   cost per log force without the storage layer depending on the sim. *)
+let reserve_sync t ~now =
+  let start = Float.max now t.busy_until in
+  t.busy_until <- start +. t.sync_latency;
+  t.busy_until -. now
 
 let open_file t fname =
   match Hashtbl.find_opt t.files fname with
@@ -121,6 +136,13 @@ let read_file t fname =
   match Hashtbl.find_opt t.files fname with
   | None -> None
   | Some f -> Some (read f)
+
+(* Metadata lookup: size without materializing the contents (stat, not
+   read). Used by the WAL's live-bytes accounting. *)
+let file_size t fname =
+  match Hashtbl.find_opt t.files fname with
+  | None -> None
+  | Some f -> Some (size f)
 
 let delete t fname = if not t.dead then Hashtbl.remove t.files fname
 let exists t fname = Hashtbl.mem t.files fname

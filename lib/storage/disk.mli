@@ -17,10 +17,30 @@ type t
 type file
 (** Handle to an append-only file on some disk. *)
 
-val create : ?torn_writes:bool -> ?rng:Rrq_util.Rng.t -> string -> t
-(** Disk named [name] (for diagnostics). [torn_writes] defaults to false. *)
+val create :
+  ?torn_writes:bool -> ?rng:Rrq_util.Rng.t -> ?sync_latency:float -> string -> t
+(** Disk named [name] (for diagnostics). [torn_writes] defaults to false.
+    [sync_latency] (default 0.0) is the virtual time one flush occupies the
+    device — see {!reserve_sync}. *)
 
 val name : t -> string
+
+(** {1 Latency model}
+
+    The disk itself is synchronous (it must stay usable outside the
+    simulator), but it carries a cost model: one flush occupies the device
+    for [sync_latency] virtual seconds, and flushes serialize. Fiber code
+    that forces the log calls [reserve_sync] with the current virtual time,
+    sleeps for the returned duration, then issues the real {!sync} — so
+    concurrent committers queue on the device exactly as they would on a
+    real WAL disk, which is what makes group commit measurable. *)
+
+val sync_latency : t -> float
+(** Configured per-flush device occupancy (0.0 = free syncs). *)
+
+val reserve_sync : t -> now:float -> float
+(** Claim the next device slot for a flush requested at virtual time [now];
+    returns how long the requester must wait until its flush completes. *)
 
 val open_file : t -> string -> file
 (** Open (creating if absent) an append-only file. Contents persist across
@@ -51,6 +71,10 @@ val replace_atomic : t -> string -> string -> unit
 
 val read_file : t -> string -> string option
 (** Durable-plus-buffered contents of a named file, if it exists. *)
+
+val file_size : t -> string -> int option
+(** Size (durable + buffered) of a named file without reading its contents
+    — the stat-style metadata lookup. *)
 
 val delete : t -> string -> unit
 (** Durably remove a file (log-segment garbage collection). *)

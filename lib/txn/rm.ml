@@ -1,5 +1,6 @@
 module Codec = Rrq_util.Codec
 module Wal = Rrq_wal.Wal
+module Group_commit = Rrq_wal.Group_commit
 module Disk = Rrq_storage.Disk
 
 module type STATE = sig
@@ -21,6 +22,7 @@ module Make (S : STATE) = struct
   type t = {
     rm_name : string;
     wal : Wal.t;
+    gc : Group_commit.t;
     st : S.state;
     workspaces : (Txid.t, S.redo list ref) Hashtbl.t; (* newest first *)
     prepared_txns : (Txid.t, prepared) Hashtbl.t;
@@ -89,8 +91,9 @@ module Make (S : STATE) = struct
       t.prepared_txns;
     Codec.to_string e
 
-  let open_rm disk ~name:rm_name =
+  let open_rm ?commit_policy disk ~name:rm_name =
     let wal, recovered = Wal.open_log disk ~name:(rm_name ^ ".wal") in
+    let gc = Group_commit.create ?policy:commit_policy wal in
     let st, prepared_txns =
       match recovered.Wal.snapshot with
       | None -> (S.empty (), Hashtbl.create 8)
@@ -108,7 +111,7 @@ module Make (S : STATE) = struct
         (st, tbl)
     in
     let t =
-      { rm_name; wal; st; workspaces = Hashtbl.create 16; prepared_txns }
+      { rm_name; wal; gc; st; workspaces = Hashtbl.create 16; prepared_txns }
     in
     List.iter (replay t) recovered.Wal.records;
     (* Re-assert exclusions for transactions still in doubt. *)
@@ -136,8 +139,11 @@ module Make (S : STATE) = struct
     | Some ws ->
       let redos = List.rev !ws in
       Hashtbl.remove t.workspaces id;
-      Wal.append_sync t.wal (encode_record k_one_phase (Some id) "" redos);
-      List.iter (S.apply t.st) redos
+      (* Group-commit discipline: append, apply in memory without yielding,
+         then force (which may park the fiber) before acknowledging. *)
+      Group_commit.append t.gc (encode_record k_one_phase (Some id) "" redos);
+      List.iter (S.apply t.st) redos;
+      Group_commit.force t.gc
 
   let prepare t id ~coordinator =
     match Hashtbl.find_opt t.workspaces id with
@@ -145,25 +151,29 @@ module Make (S : STATE) = struct
     | Some ws ->
       let redos = List.rev !ws in
       Hashtbl.remove t.workspaces id;
-      Wal.append_sync t.wal (encode_record k_prepare (Some id) coordinator redos);
+      Group_commit.append t.gc
+        (encode_record k_prepare (Some id) coordinator redos);
       Hashtbl.replace t.prepared_txns id { coordinator; redos };
+      Group_commit.force t.gc;
       true
 
   let commit_prepared t id =
     match Hashtbl.find_opt t.prepared_txns id with
     | None -> () (* already resolved (idempotent) *)
     | Some p ->
-      Wal.append_sync t.wal (encode_record k_commit (Some id) "" []);
+      Group_commit.append t.gc (encode_record k_commit (Some id) "" []);
       List.iter (S.apply t.st) p.redos;
-      Hashtbl.remove t.prepared_txns id
+      Hashtbl.remove t.prepared_txns id;
+      Group_commit.force t.gc
 
   let abort t id =
     Hashtbl.remove t.workspaces id;
     match Hashtbl.find_opt t.prepared_txns id with
     | None -> ()
     | Some _ ->
-      Wal.append_sync t.wal (encode_record k_abort (Some id) "" []);
-      Hashtbl.remove t.prepared_txns id
+      Group_commit.append t.gc (encode_record k_abort (Some id) "" []);
+      Hashtbl.remove t.prepared_txns id;
+      Group_commit.force t.gc
 
   let is_prepared t id = Hashtbl.mem t.prepared_txns id
 
@@ -171,8 +181,9 @@ module Make (S : STATE) = struct
     Hashtbl.fold (fun id p acc -> (id, p.coordinator) :: acc) t.prepared_txns []
 
   let apply_now t redos =
-    Wal.append_sync t.wal (encode_record k_apply_now None "" redos);
-    List.iter (S.apply t.st) redos
+    Group_commit.append t.gc (encode_record k_apply_now None "" redos);
+    List.iter (S.apply t.st) redos;
+    Group_commit.force t.gc
 
   let checkpoint t = Wal.checkpoint t.wal (encode_snapshot t)
 

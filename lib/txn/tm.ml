@@ -1,5 +1,6 @@
 module Codec = Rrq_util.Codec
 module Wal = Rrq_wal.Wal
+module Group_commit = Rrq_wal.Group_commit
 module Sched = Rrq_sim.Sched
 
 type outcome = Committed | Aborted
@@ -27,6 +28,7 @@ type txn = {
 type t = {
   tm_name : string;
   wal : Wal.t;
+  gc : Group_commit.t;
   inc : int;
   mutable next_n : int;
   (* Commit decisions logged but not yet acknowledged by every participant:
@@ -65,8 +67,9 @@ let encode_end id =
   Txid.encode e id;
   Codec.to_string e
 
-let open_tm disk ~name:tm_name =
+let open_tm ?commit_policy disk ~name:tm_name =
   let wal, recovered = Wal.open_log disk ~name:(tm_name ^ ".tmlog") in
+  let gc = Group_commit.create ?policy:commit_policy wal in
   let pending = Hashtbl.create 8 in
   let inc = ref 0 in
   List.iter
@@ -82,10 +85,11 @@ let open_tm disk ~name:tm_name =
       else if kind = k_end then Hashtbl.remove pending (Txid.decode d)
       else failwith "tm: unknown log record")
     recovered.Wal.records;
-  Wal.append_sync wal (encode_incarnation ());
+  Group_commit.append_force gc (encode_incarnation ());
   {
     tm_name;
     wal;
+    gc;
     inc = !inc + 1;
     next_n = 0;
     pending;
@@ -237,8 +241,13 @@ let commit t txn =
       end
       else begin
         let pnames = List.map (fun p -> p.part_name) parts in
+        (* The txn stays in [deciding] (answering [`Pending]) until the
+           decision record is durable: under a batched force this fiber may
+           park here, and resolvers must not observe a commit outcome that a
+           crash could still revoke. *)
+        Group_commit.append t.gc (encode_decision txn.id pnames);
+        Group_commit.force t.gc;
         Hashtbl.replace t.pending txn.id (ref pnames);
-        Wal.append_sync t.wal (encode_decision txn.id pnames);
         Hashtbl.remove t.deciding txn.id;
         t.n_committed <- t.n_committed + 1;
         finish txn Committed;

@@ -11,6 +11,12 @@ val create : title:string -> columns:string list -> t
 val add_row : t -> string list -> unit
 (** Append a row; must have as many cells as there are columns. *)
 
+val title : t -> string
+val columns : t -> string list
+
+val rows : t -> string list list
+(** Rows in insertion order — for machine-readable exports (bench --json). *)
+
 val render : t -> string
 (** Multi-line string with the title, a header rule, and aligned rows. *)
 

@@ -1,0 +1,89 @@
+module Disk = Rrq_storage.Disk
+module Sched = Rrq_sim.Sched
+module Cond = Rrq_sim.Cond
+
+type policy = Immediate | Batch of { max_delay : float; max_batch : int }
+
+type t = {
+  wal : Wal.t;
+  disk : Disk.t;
+  pol : policy;
+  mutable leading : bool; (* a leader is inside its batch window / sync *)
+  mutable waiters : (int * bool Sched.waker) list; (* parked followers *)
+  full : Cond.t; (* signalled when the batch reaches max_batch *)
+  mutable n_forces : int;
+  mutable n_syncs : int;
+}
+
+let create ?(policy = Immediate) wal =
+  {
+    wal;
+    disk = Wal.disk wal;
+    pol = policy;
+    leading = false;
+    waiters = [];
+    full = Cond.create ();
+    n_forces = 0;
+    n_syncs = 0;
+  }
+
+let policy t = t.pol
+let forces t = t.n_forces
+let syncs t = t.n_syncs
+
+let append t payload = Wal.append t.wal payload
+
+(* One physical flush, charged against the disk's device model when we can
+   sleep (i.e. inside a fiber): the device serves one flush at a time, so
+   concurrent immediate-mode committers queue on it. *)
+let do_sync t =
+  (if Disk.sync_latency t.disk > 0.0 && Sched.in_fiber () then
+     let wait = Disk.reserve_sync t.disk ~now:(Sched.clock ()) in
+     if wait > 0.0 then Sched.sleep wait);
+  Wal.sync t.wal;
+  t.n_syncs <- t.n_syncs + 1
+
+(* Wake every parked follower the last sync covered. After a successful
+   sync the durable LSN equals the appended LSN, which covers everyone who
+   parked before it; if the disk died instead, wake everybody — their
+   commits are not durable, but neither would they have been under the
+   historical per-commit force, whose failure is equally silent. *)
+let wake_covered t =
+  let durable = Wal.durable_lsn t.wal in
+  let dead = Disk.is_dead t.disk in
+  let ready, parked =
+    List.partition (fun (lsn, _) -> dead || lsn <= durable) t.waiters
+  in
+  t.waiters <- parked;
+  List.iter (fun (_, w) -> ignore (Sched.wake w true)) (List.rev ready)
+
+let force t =
+  let lsn = Wal.appended_lsn t.wal in
+  if lsn > Wal.durable_lsn t.wal && not (Disk.is_dead t.disk) then begin
+    t.n_forces <- t.n_forces + 1;
+    match t.pol with
+    | Immediate -> do_sync t
+    | Batch _ when not (Sched.in_fiber ()) -> do_sync t
+    | Batch { max_delay; max_batch } ->
+      if t.leading then begin
+        (* Follower: the leader's sync will cover our records (it flushes
+           everything appended up to the moment it runs). Park. *)
+        if List.length t.waiters + 2 >= max_batch then Cond.signal t.full;
+        ignore
+          (Sched.suspend (fun _ w -> t.waiters <- (lsn, w) :: t.waiters))
+      end
+      else begin
+        t.leading <- true;
+        (* Accumulation window: give concurrent committers a chance to
+           board; a full batch cuts it short. *)
+        if max_delay > 0.0 && List.length t.waiters + 1 < max_batch then
+          ignore (Cond.wait_timeout t.full max_delay);
+        do_sync t;
+        t.leading <- false;
+        wake_covered t
+      end
+  end
+
+let append_force t payload =
+  append t payload;
+  force t

@@ -1,0 +1,70 @@
+(** Group commit: batched log forcing for commit points.
+
+    The paper's §10 treats recoverable queues as main-memory databases that
+    still must log updates, which makes the commit-point log force the
+    dominant cost of every [Enqueue]/[Dequeue]. With one {!Rrq_storage.Disk}
+    sync per transaction, N concurrent servers draining a queue pay N device
+    flushes where one would do. This module coalesces them: committers call
+    {!force}, and under the [Batch] policy one caller becomes the {e leader}
+    — it waits a short accumulation window (cut short when the batch fills),
+    issues a single sync covering every record appended so far, and wakes
+    all parked {e followers} whose records made it out.
+
+    The contract callers must follow (and all RMs/TMs in this repo do):
+
+    + append the commit record(s) with {!append};
+    + apply their effects to memory {e without yielding};
+    + call {!force} and only acknowledge the transaction after it returns.
+
+    Because effects are applied before the first yield, a checkpoint taken
+    while commits are parked still snapshots their effects, which is why
+    [Wal.checkpoint] may advance the durable LSN past unsynced records.
+
+    A crash between append and the batched sync therefore loses only
+    transactions that were never acknowledged; acknowledged ones are covered
+    by the sync (or checkpoint) that preceded the acknowledgement. The
+    crash-point suite in [test/test_group_commit.ml] sweeps exactly this
+    window.
+
+    [Immediate] (the default) preserves the historical one-sync-per-commit
+    behavior and works outside the simulator; [Batch] parks fibers and is
+    only meaningful inside it (outside a fiber it degrades to a direct
+    sync). Both policies charge the disk's [sync_latency] device model when
+    running in a fiber, so the simulator measures realistic commit cost. *)
+
+type policy =
+  | Immediate  (** Force at every commit: one sync per call (historical). *)
+  | Batch of { max_delay : float; max_batch : int }
+      (** Leader waits up to [max_delay] virtual seconds for company, or
+          until [max_batch] commits are aboard, then issues one sync for
+          the whole batch. *)
+
+type t
+
+val create : ?policy:policy -> Wal.t -> t
+(** Batcher for [wal]. Default policy is [Immediate]. *)
+
+val policy : t -> policy
+
+val append : t -> string -> unit
+(** Buffer a record at the log tail (same as [Wal.append]). *)
+
+val force : t -> unit
+(** Make every record appended so far durable before returning. Under
+    [Batch] the calling fiber may be parked while a leader's sync covers
+    it. If the disk is dead (crash-point injection), returns without
+    durability — mirroring the historical [append_sync] semantics where
+    the process is about to be declared crashed anyway. *)
+
+val append_force : t -> string -> unit
+(** [append] then [force]. *)
+
+(** {1 Accounting} *)
+
+val forces : t -> int
+(** Number of {!force} calls that had undurable records to cover. *)
+
+val syncs : t -> int
+(** Number of physical device syncs issued by this batcher. Under [Batch]
+    with concurrent committers this is less than {!forces} — the whole
+    point. *)

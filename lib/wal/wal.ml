@@ -8,6 +8,10 @@ type t = {
   mutable seg : int; (* active segment number *)
   mutable file : Disk.file;
   mutable since_ckpt : int;
+  (* Append/durability split for group commit: [appended_lsn] counts records
+     buffered this incarnation, [durable_lsn] those known forced. *)
+  mutable appended_lsn : int;
+  mutable durable_lsn : int;
 }
 
 type recovered = { snapshot : string option; records : string list }
@@ -92,7 +96,10 @@ let open_log disk ~name:base =
         end
       | false -> ())
     (Disk.list_files disk);
-  let records = ref [] in
+  (* Accumulate newest-first and reverse once at the end: appending each
+     segment's records with [@] is quadratic in total log length, which
+     dominates recovery time on long multi-segment logs. *)
+  let records_rev = ref [] in
   let seg = ref first_seg in
   let scanning = ref true in
   while !scanning do
@@ -100,7 +107,7 @@ let open_log disk ~name:base =
     | None -> scanning := false
     | Some contents ->
       let recs, clean = scan_segment contents in
-      records := !records @ recs;
+      records_rev := List.rev_append recs !records_rev;
       if clean then incr seg
       else begin
         (* Torn tail: durably truncate the segment to its valid prefix, so
@@ -118,14 +125,37 @@ let open_log disk ~name:base =
     if Disk.exists disk (seg_name base !seg) then !seg + 1 else !seg
   in
   let file = Disk.open_file disk (seg_name base active) in
-  let t = { disk; base; seg = active; file; since_ckpt = List.length !records } in
-  (t, { snapshot; records = !records })
+  let records = List.rev !records_rev in
+  let t =
+    {
+      disk;
+      base;
+      seg = active;
+      file;
+      since_ckpt = List.length records;
+      appended_lsn = 0;
+      durable_lsn = 0;
+    }
+  in
+  (t, { snapshot; records })
+
+let disk t = t.disk
+let appended_lsn t = t.appended_lsn
+let durable_lsn t = t.durable_lsn
 
 let append t payload =
   Disk.append t.file (frame payload);
-  t.since_ckpt <- t.since_ckpt + 1
+  t.since_ckpt <- t.since_ckpt + 1;
+  t.appended_lsn <- t.appended_lsn + 1
 
-let sync t = Disk.sync t.file
+(* [Disk.sync] flushes everything buffered, so on success the durable LSN
+   jumps to the append LSN — including records appended by other fibers
+   while a batched flusher held the device. If the disk died (crash-point
+   injection), the flush did not persist and [durable_lsn] must not move:
+   group commit uses that to decide which waiters it may acknowledge. *)
+let sync t =
+  Disk.sync t.file;
+  if not (Disk.is_dead t.disk) then t.durable_lsn <- t.appended_lsn
 
 let append_sync t payload =
   append t payload;
@@ -144,19 +174,21 @@ let checkpoint t snapshot =
   done;
   t.seg <- next;
   t.file <- Disk.open_file t.disk (seg_name t.base next);
-  t.since_ckpt <- 0
+  t.since_ckpt <- 0;
+  (* The snapshot captures the applied effects of every appended record
+     (commit paths apply before yielding), so a successful checkpoint makes
+     all of them durable even if their segment was never synced. *)
+  if not (Disk.is_dead t.disk) then t.durable_lsn <- t.appended_lsn
 
 let records_since_checkpoint t = t.since_ckpt
 
 let live_log_bytes t =
   List.fold_left
     (fun acc f ->
-      match Disk.read_file t.disk f with
-      | Some c
-        when String.length f > String.length t.base
-             && String.sub f 0 (String.length t.base) = t.base
-             && String.length f > String.length t.base + 4
-             && String.sub f (String.length t.base) 4 = ".seg" ->
-        acc + String.length c
-      | _ -> acc)
+      if
+        String.length f > String.length t.base + 4
+        && String.sub f 0 (String.length t.base) = t.base
+        && String.sub f (String.length t.base) 4 = ".seg"
+      then acc + Option.value ~default:0 (Disk.file_size t.disk f)
+      else acc)
     0 (Disk.list_files t.disk)

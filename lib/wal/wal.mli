@@ -20,11 +20,23 @@ type recovered = {
 val open_log : Rrq_storage.Disk.t -> name:string -> t * recovered
 (** Open (or create) the log called [name], recovering its contents. *)
 
+val disk : t -> Rrq_storage.Disk.t
+(** The disk holding this log (its device model governs force cost). *)
+
 val append : t -> string -> unit
 (** Buffer a record at the log tail. Not durable until {!sync}. *)
 
 val sync : t -> unit
-(** Force all buffered records to stable storage. *)
+(** Force all buffered records to stable storage. On success this advances
+    {!durable_lsn} to {!appended_lsn}; if the disk is dead (crash-point
+    injection) the durable LSN stays put. *)
+
+val appended_lsn : t -> int
+(** Records appended this incarnation (durable or not). *)
+
+val durable_lsn : t -> int
+(** Records of this incarnation known forced to stable storage. A commit
+    whose last record has LSN [<= durable_lsn] may be acknowledged. *)
 
 val append_sync : t -> string -> unit
 (** [append] then [sync] — the force-write used at commit points. *)

@@ -21,15 +21,15 @@ module Kvdb = Rrq_kvdb.Kvdb
 module Element = Rrq_qm.Element
 module H = Rrq_test_support.Sim_harness
 
-let open_world disk =
-  let tm = Tm.open_tm disk ~name:"node" in
-  let qm = Qm.open_qm disk ~name:"qm@node" in
-  let kv = Kvdb.open_kv disk ~name:"kv@node" in
+let open_world ?commit_policy disk =
+  let tm = Tm.open_tm ?commit_policy disk ~name:"node" in
+  let qm = Qm.open_qm ?commit_policy disk ~name:"qm@node" in
+  let kv = Kvdb.open_kv ?commit_policy disk ~name:"kv@node" in
   Qm.create_queue qm "q";
   (tm, qm, kv)
 
-let workload disk =
-  let tm, qm, kv = open_world disk in
+let workload ?commit_policy disk =
+  let tm, qm, kv = open_world ?commit_policy disk in
   let h, _ = Qm.register qm ~queue:"q" ~registrant:"client" ~stable:true in
   (* op1: tagged enqueue (auto-commit) *)
   ignore (Qm.auto_commit qm (fun id -> Qm.enqueue qm id h ~tag:"r1" "first"));
@@ -102,40 +102,56 @@ let check_invariants ~point (tag, first_present, second_present, got) =
   if tag = Some "r2" then
     Alcotest.(check bool) (ctx "I4 tag r2 => got") true got
 
+(* The same invariants must hold whether commit points force the log
+   one-by-one (Immediate, the default) or through the batched group-commit
+   path, which reorders the apply/force interleaving. *)
+let policies =
+  [
+    ("immediate", None);
+    ( "batch",
+      Some
+        (Rrq_wal.Group_commit.Batch { max_delay = 0.0005; max_batch = 64 }) );
+  ]
+
 let test_sweep () =
-  (* First, a clean run to count the durability boundaries. *)
-  let total_syncs =
-    H.run_fiber (fun () ->
-        let disk = Disk.create "clean" in
-        workload disk;
-        Disk.sync_count disk)
-  in
-  Alcotest.(check bool) "workload has enough sync points" true (total_syncs > 8);
-  (* Clean-run audit: everything durable. *)
-  H.run_fiber (fun () ->
-      let disk = Disk.create "clean2" in
-      workload disk;
-      Disk.crash disk;
-      Disk.revive disk;
-      let audit = recover_and_audit disk in
-      check_invariants ~point:(-1) audit;
-      let tag, first_present, second_present, got = audit in
-      Alcotest.(check (option string)) "final tag" (Some "r2") tag;
-      Alcotest.(check bool) "final first gone" false first_present;
-      Alcotest.(check bool) "final second there" true second_present;
-      Alcotest.(check bool) "final got" true got);
-  (* The sweep: freeze at every sync boundary. *)
-  for point = 1 to total_syncs do
-    H.run_fiber (fun () ->
-        let disk = Disk.create (Printf.sprintf "sweep%d" point) in
-        Disk.kill_after_syncs disk point;
-        workload disk;
-        Alcotest.(check bool)
-          (Printf.sprintf "disk froze at point %d" point)
-          true (Disk.is_dead disk);
-        Disk.revive disk;
-        check_invariants ~point (recover_and_audit disk))
-  done
+  List.iter
+    (fun (pname, commit_policy) ->
+      (* First, a clean run to count the durability boundaries. *)
+      let total_syncs =
+        H.run_fiber (fun () ->
+            let disk = Disk.create "clean" in
+            workload ?commit_policy disk;
+            Disk.sync_count disk)
+      in
+      Alcotest.(check bool)
+        (pname ^ ": workload has enough sync points")
+        true (total_syncs > 8);
+      (* Clean-run audit: everything durable. *)
+      H.run_fiber (fun () ->
+          let disk = Disk.create "clean2" in
+          workload ?commit_policy disk;
+          Disk.crash disk;
+          Disk.revive disk;
+          let audit = recover_and_audit disk in
+          check_invariants ~point:(-1) audit;
+          let tag, first_present, second_present, got = audit in
+          Alcotest.(check (option string)) (pname ^ ": final tag") (Some "r2") tag;
+          Alcotest.(check bool) (pname ^ ": final first gone") false first_present;
+          Alcotest.(check bool) (pname ^ ": final second there") true second_present;
+          Alcotest.(check bool) (pname ^ ": final got") true got);
+      (* The sweep: freeze at every sync boundary. *)
+      for point = 1 to total_syncs do
+        H.run_fiber (fun () ->
+            let disk = Disk.create (Printf.sprintf "sweep%d" point) in
+            Disk.kill_after_syncs disk point;
+            workload ?commit_policy disk;
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: disk froze at point %d" pname point)
+              true (Disk.is_dead disk);
+            Disk.revive disk;
+            check_invariants ~point (recover_and_audit disk))
+      done)
+    policies
 
 (* The same sweep, but the crash lands during the *recovery* of the first
    crash (double failures, paper-grade paranoia). *)
