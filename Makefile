@@ -1,0 +1,28 @@
+# Convenience targets; dune does the real work. See doc/CI.md.
+
+.PHONY: all build test quick-test check sim bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test: build
+	dune runtest
+
+quick-test:
+	ALCOTEST_QUICK_TESTS=1 dune runtest
+
+# The simulation tester alone: explored schedules + crash-site sweep.
+sim:
+	dune exec bin/rrq_demo.exe -- check --budget 25
+	dune exec bin/rrq_demo.exe -- check --sites
+
+# The CI gate: build, full tests, simulation-tester smoke.
+check: build test sim
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -85,6 +85,96 @@ let soak_cmd =
     (Cmd.info "soak" ~doc:"Randomized crash/partition soak of exactly-once")
     Term.(const run $ seeds $ clients $ per_client $ drop $ chain)
 
+let check_cmd =
+  let module C = Rrq_check in
+  let scenario_arg =
+    Arg.(value & opt string "quickstart" & info [ "scenario" ] ~docv:"NAME"
+           ~doc:"Scenario to check: quickstart (correct protocol) or buggy \
+                 (clerk with untagged blind re-sends).")
+  in
+  let budget =
+    Arg.(value & opt int 200 & info [ "budget" ] ~docv:"N"
+           ~doc:"Fault plans to explore (stops at the first failure).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S"
+           ~doc:"Base seed for plan generation.")
+  in
+  let replay =
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"PLAN"
+           ~doc:"Run this one fault plan (as printed in a repro line) \
+                 instead of exploring.")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ]
+           ~doc:"With --replay: print the scheduling-decision trace.")
+  in
+  let sites =
+    Arg.(value & flag & info [ "sites" ]
+           ~doc:"Enumerate the named crash sites of the quickstart scenario \
+                 and crash at every (site, hit) combination.")
+  in
+  let run scen_name budget seed replay trace sites =
+    let scenario =
+      match C.Scenario.by_name scen_name with
+      | Some s -> s
+      | None ->
+        Printf.eprintf "unknown scenario %S (try quickstart or buggy)\n" scen_name;
+        exit 2
+    in
+    if sites then begin
+      let failures = ref 0 in
+      let visited =
+        C.Sweep.crash_sites
+          ~probe:(fun () ->
+            let clean = C.Plan.make ~seed:0 ~policy:`Fifo ~faults:[] in
+            ignore (C.Scenario.run C.Scenario.quickstart clean))
+          ~at:(fun ~site ~hit ->
+            let o = C.Scenario.quickstart_crash_at ~site ~hit ~recover_after:1.0 in
+            if C.Scenario.failed o then begin
+              incr failures;
+              Printf.printf "  %-28s hit %d  FAILED: %s\n" site hit
+                (C.Audit.findings_to_string o.C.Scenario.findings)
+            end)
+          ()
+      in
+      let combos = List.fold_left (fun a (_, n) -> a + n) 0 visited in
+      Printf.printf "crash-site sweep: %d sites, %d (site, hit) combinations\n"
+        (List.length visited) combos;
+      List.iter (fun (s, n) -> Printf.printf "  %-28s x%d\n" s n) visited;
+      if !failures = 0 then print_endline "all crash points recovered cleanly"
+      else begin
+        Printf.printf "%d crash points FAILED their audit\n" !failures;
+        exit 1
+      end
+    end
+    else
+      match replay with
+      | Some line ->
+        let plan = C.Plan.of_string line in
+        let o = C.Scenario.run scenario plan in
+        Printf.printf "%s: %s (%d/%d replies, t=%.1f)\n" scenario.C.Scenario.name
+          (C.Audit.findings_to_string o.C.Scenario.findings)
+          o.C.Scenario.replies o.C.Scenario.requests o.C.Scenario.virtual_time;
+        if trace then begin
+          Printf.printf "trace (%d decisions%s):\n"
+            (Array.length o.C.Scenario.trace)
+            (if o.C.Scenario.trace_truncated then ", TRUNCATED" else "");
+          print_endline (Rrq_sim.Sched.trace_to_string o.C.Scenario.trace)
+        end;
+        if C.Scenario.failed o then exit 1
+      | None ->
+        let report = C.Explore.run ~budget ~seed scenario in
+        print_endline (C.Explore.report_to_string report);
+        if report.C.Explore.failure <> None then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Deterministic simulation testing: explore fault \
+                            schedules, enumerate crash points, replay repros")
+    Term.(const run $ scenario_arg $ budget $ seed $ replay $ trace $ sites)
+
 let () =
   let doc = "recoverable-request queuing (Bernstein/Hsu/Mann, SIGMOD 1990) demos" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "rrq_demo" ~doc) [ experiments_cmd; soak_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "rrq_demo" ~doc) [ experiments_cmd; soak_cmd; check_cmd ]))

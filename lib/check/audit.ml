@@ -1,0 +1,126 @@
+module Site = Rrq_core.Site
+module Server = Rrq_core.Server
+module Envelope = Rrq_core.Envelope
+module Tm = Rrq_txn.Tm
+module Qm = Rrq_qm.Qm
+module Kvdb = Rrq_kvdb.Kvdb
+module Element = Rrq_qm.Element
+
+(* ---- the exactly-once execution ledger -------------------------------- *)
+
+let counting_handler site txn env =
+  let kv = Site.kv site in
+  let id = Tm.txn_id txn in
+  ignore (Kvdb.add kv id ("exec:" ^ env.Envelope.rid) 1);
+  ignore (Kvdb.add kv id "total" 1);
+  Server.Reply ("done:" ^ env.Envelope.body)
+
+let exec_count site rid =
+  match Kvdb.committed_value (Site.kv site) ("exec:" ^ rid) with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> 0)
+  | None -> 0
+
+let audit_executions sites ~rids =
+  List.fold_left
+    (fun (lost, exact, dup) rid ->
+      let n = List.fold_left (fun acc site -> acc + exec_count site rid) 0 sites in
+      if n = 0 then (lost + 1, exact, dup)
+      else if n = 1 then (lost, exact + 1, dup)
+      else (lost, exact, dup + 1))
+    (0, 0, 0) rids
+
+(* ---- the auditor registry --------------------------------------------- *)
+
+type auditor = { name : string; check : unit -> string option }
+type finding = { auditor : string; detail : string }
+
+let make name check = { name; check }
+
+let run auditors =
+  List.filter_map
+    (fun a ->
+      match a.check () with
+      | None -> None
+      | Some detail -> Some { auditor = a.name; detail }
+      | exception e ->
+        Some { auditor = a.name; detail = "auditor raised: " ^ Printexc.to_string e })
+    auditors
+
+let findings_to_string = function
+  | [] -> "all auditors passed"
+  | fs ->
+    String.concat "; "
+      (List.map (fun f -> Printf.sprintf "%s: %s" f.auditor f.detail) fs)
+
+(* ---- standard auditors ------------------------------------------------ *)
+
+let exactly_once ~sites ~rids =
+  make "exactly-once" (fun () ->
+      let lost, _exact, dup = audit_executions (sites ()) ~rids:(rids ()) in
+      if lost = 0 && dup = 0 then None
+      else Some (Printf.sprintf "%d lost, %d duplicated executions" lost dup))
+
+let conservation ~name ~expected ~actual =
+  make ("conservation:" ^ name) (fun () ->
+      let v = actual () in
+      if v = expected then None
+      else Some (Printf.sprintf "expected %d, found %d" expected v))
+
+(* Structural integrity of every queue on every site: element ids unique
+   within a repository, no negative delivery counts. Note that committed
+   enqueue/dequeue counters ([Qm.counts]) are per-incarnation — recovery
+   replay intentionally does not count — so comparing them is only
+   meaningful in a crash-free run and is not an invariant here. *)
+let queue_integrity ~sites =
+  make "queue-integrity" (fun () ->
+      let problems = ref [] in
+      List.iter
+        (fun site ->
+          let qm = Site.qm site in
+          let seen = Hashtbl.create 64 in
+          List.iter
+            (fun q ->
+              let els = Qm.elements qm q in
+              List.iter
+                (fun el ->
+                  let eid = el.Element.eid in
+                  if Hashtbl.mem seen eid then
+                    problems :=
+                      Printf.sprintf "%s/%s: duplicate eid %Ld"
+                        (Site.site_name site) q eid
+                      :: !problems
+                  else Hashtbl.add seen eid ();
+                  if el.Element.delivery_count < 0 then
+                    problems :=
+                      Printf.sprintf "%s/%s: negative delivery count on %Ld"
+                        (Site.site_name site) q eid
+                      :: !problems)
+                els)
+            (Qm.queue_names qm))
+        (sites ());
+      match !problems with
+      | [] -> None
+      | ps -> Some (String.concat "; " ps))
+
+(* After quiescence with every site up, no transaction may still be in
+   doubt: the resolver daemons must have settled every prepared txn. *)
+let no_in_doubt ~sites =
+  make "no-in-doubt" (fun () ->
+      let stuck =
+        List.concat_map
+          (fun site ->
+            List.map
+              (fun (id, _coord) ->
+                Printf.sprintf "%s: %s" (Site.site_name site)
+                  (Rrq_txn.Txid.to_string id))
+              (Qm.in_doubt (Site.qm site))
+            @ List.map
+                (fun (id, _coord) ->
+                  Printf.sprintf "%s(kv): %s" (Site.site_name site)
+                    (Rrq_txn.Txid.to_string id))
+                (Kvdb.in_doubt (Site.kv site)))
+          (sites ())
+      in
+      match stuck with
+      | [] -> None
+      | s -> Some ("unresolved in-doubt transactions: " ^ String.concat ", " s))

@@ -1,0 +1,59 @@
+(** The invariant/auditor registry: one place defining what "correct" means
+    for an explored schedule, unifying the exactly-once ledger, conservation
+    and queue-integrity checks that were previously scattered through the
+    experiment harness. Every explored schedule, soak run and crash sweep is
+    audited through the same registry. *)
+
+(** {1 The exactly-once execution ledger} *)
+
+val counting_handler : Rrq_core.Server.handler
+(** Increments ["exec:" ^ rid] and ["total"], replies ["done:" ^ body] —
+    the standard exactly-once audit handler. *)
+
+val exec_count : Rrq_core.Site.t -> string -> int
+(** Committed value of ["exec:" ^ rid] (0 when absent). *)
+
+val audit_executions :
+  Rrq_core.Site.t list -> rids:string list -> int * int * int
+(** [(lost, exactly_once, duplicated)] across the given sites: for each
+    rid, sums its exec counters over all sites and classifies. *)
+
+(** {1 Auditors} *)
+
+type auditor
+(** A named invariant over a quiesced world. *)
+
+type finding = { auditor : string; detail : string }
+(** One violated invariant. *)
+
+val make : string -> (unit -> string option) -> auditor
+(** [make name check]: [check] returns [None] when the invariant holds, or
+    [Some detail] describing the violation. A check that raises is reported
+    as a finding, not an exception. *)
+
+val run : auditor list -> finding list
+(** Evaluate every auditor; empty means the schedule passed. *)
+
+val findings_to_string : finding list -> string
+
+(** {1 Standard auditors}
+
+    Sites and rids are passed as thunks because auditors run after faults:
+    accessors must see the current incarnation, not a pre-crash snapshot. *)
+
+val exactly_once :
+  sites:(unit -> Rrq_core.Site.t list) -> rids:(unit -> string list) -> auditor
+(** Zero lost and zero duplicated executions over the ledger (paper §3,
+    Exactly-Once Request-Processing). *)
+
+val conservation : name:string -> expected:int -> actual:(unit -> int) -> auditor
+(** A conserved integer quantity (e.g. total money across accounts). *)
+
+val queue_integrity : sites:(unit -> Rrq_core.Site.t list) -> auditor
+(** Structural invariants of every queue on every site: unique element ids
+    and non-negative delivery counts. (Committed enqueue/dequeue counters
+    are per-incarnation, so they are deliberately not compared here.) *)
+
+val no_in_doubt : sites:(unit -> Rrq_core.Site.t list) -> auditor
+(** After quiescence with all sites up, no prepared transaction may remain
+    unresolved (the resolver daemons must have settled 2PC in-doubts). *)

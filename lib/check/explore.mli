@@ -1,0 +1,40 @@
+(** Schedule exploration: run a scenario under many deterministically-derived
+    fault plans and scheduling policies; on failure, shrink the plan to a
+    minimal still-failing repro. *)
+
+type failure = {
+  plan : Plan.t;  (** The plan that first failed. *)
+  outcome : Scenario.outcome;
+  shrunk : Plan.t option;  (** Smaller still-failing plan, if any. *)
+  shrink_runs : int;
+}
+
+type report = {
+  scenario : string;
+  explored : int;
+  passed : int;
+  failure : failure option;
+}
+
+val plan_of_index : Scenario.t -> seed:int -> int -> Plan.t
+(** The i-th plan of an exploration: a pure function of (seed, i), so any
+    point of a run can be regenerated without replaying the whole sweep. *)
+
+val run :
+  ?budget:int -> ?seed:int -> ?shrink_failures:bool -> Scenario.t -> report
+(** Explore up to [budget] (default 200) plans from [seed] (default 1),
+    stopping at the first failure, which is then shrunk. *)
+
+val shrink : ?max_runs:int -> Scenario.t -> Plan.t -> Plan.t option * int
+(** Minimize a failing plan: drop faults to a fixpoint, then try replacing a
+    randomized policy with FIFO. Returns the smaller still-failing plan (or
+    [None] if already minimal) and how many runs were spent (≤ [max_runs],
+    default 60). *)
+
+val minimal_plan : failure -> Plan.t
+
+val repro_line : string -> Plan.t -> string
+(** Copy-pastable [rrq_demo check --scenario <name> --replay '<plan>']. *)
+
+val failure_to_string : scenario:string -> failure -> string
+val report_to_string : report -> string

@@ -1,0 +1,155 @@
+(* A fault plan is the portable identity of one explored schedule: the RNG
+   seed, the scheduling policy, and the injected faults. Plans round-trip
+   through a one-line string so a failing schedule can be pasted back into
+   [rrq_demo check --replay] and re-run bit-for-bit. *)
+
+type fault =
+  | Crash of { node : string; at : float; recover_after : float }
+  | Partition of { a : string; b : string; at : float; heal_after : float }
+
+type policy = [ `Fifo | `Random of int ]
+
+type t = { seed : int; policy : policy; faults : fault list }
+
+let fault_at = function Crash { at; _ } -> at | Partition { at; _ } -> at
+
+let sort_faults faults =
+  List.stable_sort (fun f g -> compare (fault_at f) (fault_at g)) faults
+
+let make ~seed ~policy ~faults = { seed; policy; faults = sort_faults faults }
+
+(* ---- generation -------------------------------------------------------- *)
+
+type profile = {
+  crash_nodes : string list;
+  partition_pairs : (string * string) list;
+  horizon : float;
+  max_faults : int;
+}
+
+let round2 x = Float.of_int (int_of_float ((x *. 100.0) +. 0.5)) /. 100.0
+
+let random ~seed ~profile =
+  let rng = Rrq_util.Rng.create seed in
+  let pick l = List.nth l (Rrq_util.Rng.int rng (List.length l)) in
+  let n_kinds =
+    (if profile.crash_nodes = [] then 0 else 1)
+    + if profile.partition_pairs = [] then 0 else 1
+  in
+  let faults =
+    if n_kinds = 0 || profile.max_faults <= 0 then []
+    else
+      let n = 1 + Rrq_util.Rng.int rng profile.max_faults in
+      List.init n (fun _ ->
+          let at =
+            round2 (0.5 +. (Rrq_util.Rng.float rng (profile.horizon -. 0.5)))
+          in
+          let dur = round2 (0.5 +. Rrq_util.Rng.float rng 3.0) in
+          let crash =
+            profile.partition_pairs = []
+            || (profile.crash_nodes <> [] && Rrq_util.Rng.int rng 2 = 0)
+          in
+          if crash then Crash { node = pick profile.crash_nodes; at; recover_after = dur }
+          else
+            let a, b = pick profile.partition_pairs in
+            Partition { a; b; at; heal_after = dur })
+  in
+  let policy =
+    if Rrq_util.Rng.int rng 2 = 0 then `Fifo
+    else `Random (Rrq_util.Rng.int rng 1_000_000)
+  in
+  make ~seed ~policy ~faults
+
+(* ---- string codec ------------------------------------------------------ *)
+
+let float_str x =
+  (* shortest representation that still round-trips our 2-decimal times *)
+  let s = Printf.sprintf "%.2f" x in
+  let s =
+    if String.length s > 2 && String.sub s (String.length s - 3) 3 = ".00" then
+      String.sub s 0 (String.length s - 3)
+    else s
+  in
+  s
+
+let fault_to_string = function
+  | Crash { node; at; recover_after } ->
+    Printf.sprintf "crash:%s@%s+%s" node (float_str at) (float_str recover_after)
+  | Partition { a; b; at; heal_after } ->
+    Printf.sprintf "part:%s/%s@%s+%s" a b (float_str at) (float_str heal_after)
+
+let policy_to_string = function
+  | `Fifo -> "fifo"
+  | `Random s -> Printf.sprintf "random:%d" s
+
+let to_string t =
+  String.concat " "
+    (Printf.sprintf "seed=%d" t.seed
+    :: Printf.sprintf "policy=%s" (policy_to_string t.policy)
+    :: List.map fault_to_string t.faults)
+
+let parse_fail fmt = Printf.ksprintf (fun m -> failwith ("Plan.of_string: " ^ m)) fmt
+
+let parse_times s =
+  (* "...@AT+DUR" -> prefix, at, dur *)
+  match String.index_opt s '@' with
+  | None -> parse_fail "missing '@' in %S" s
+  | Some i -> (
+    let prefix = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match String.index_opt rest '+' with
+    | None -> parse_fail "missing '+' in %S" s
+    | Some j -> (
+      let at_s = String.sub rest 0 j in
+      let dur_s = String.sub rest (j + 1) (String.length rest - j - 1) in
+      match (float_of_string_opt at_s, float_of_string_opt dur_s) with
+      | Some at, Some dur -> (prefix, at, dur)
+      | _ -> parse_fail "bad times in %S" s))
+
+let fault_of_string s =
+  if String.length s > 6 && String.sub s 0 6 = "crash:" then
+    let node, at, recover_after =
+      parse_times (String.sub s 6 (String.length s - 6))
+    in
+    Crash { node; at; recover_after }
+  else if String.length s > 5 && String.sub s 0 5 = "part:" then
+    let pair, at, heal_after = parse_times (String.sub s 5 (String.length s - 5)) in
+    match String.index_opt pair '/' with
+    | None -> parse_fail "missing '/' in %S" s
+    | Some i ->
+      let a = String.sub pair 0 i in
+      let b = String.sub pair (i + 1) (String.length pair - i - 1) in
+      Partition { a; b; at; heal_after }
+  else parse_fail "unknown fault %S" s
+
+let of_string line =
+  let words =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun w -> w <> "")
+  in
+  let seed = ref None and policy = ref None and faults = ref [] in
+  List.iter
+    (fun w ->
+      if String.length w > 5 && String.sub w 0 5 = "seed=" then
+        match int_of_string_opt (String.sub w 5 (String.length w - 5)) with
+        | Some n -> seed := Some n
+        | None -> parse_fail "bad seed %S" w
+      else if String.length w > 7 && String.sub w 0 7 = "policy=" then
+        let p = String.sub w 7 (String.length w - 7) in
+        if p = "fifo" then policy := Some `Fifo
+        else if String.length p > 7 && String.sub p 0 7 = "random:" then
+          match int_of_string_opt (String.sub p 7 (String.length p - 7)) with
+          | Some n -> policy := Some (`Random n)
+          | None -> parse_fail "bad policy %S" w
+        else parse_fail "bad policy %S" w
+      else faults := fault_of_string w :: !faults)
+    words;
+  match (!seed, !policy) with
+  | Some seed, Some policy -> make ~seed ~policy ~faults:(List.rev !faults)
+  | None, _ -> parse_fail "missing seed= in %S" line
+  | _, None -> parse_fail "missing policy= in %S" line
+
+let sched_policy t : Rrq_sim.Sched.policy =
+  match t.policy with
+  | `Fifo -> Rrq_sim.Sched.Fifo
+  | `Random s -> Rrq_sim.Sched.Random_priority s

@@ -1,0 +1,41 @@
+(** Fault plans: the portable identity of an explored schedule.
+
+    A plan is the RNG seed, the scheduling policy and a list of timed
+    faults. It round-trips through a one-line string so a failing schedule
+    can be printed as a copy-pastable repro and replayed bit-for-bit, e.g.:
+
+    {v seed=7 policy=random:8841 crash:S@1.75+1.2 part:C/S@3.4+0.8 v} *)
+
+type fault =
+  | Crash of { node : string; at : float; recover_after : float }
+      (** Hard-kill [node] at virtual time [at] (losing its unforced
+          writes), restart it [recover_after] seconds later. *)
+  | Partition of { a : string; b : string; at : float; heal_after : float }
+      (** Sever [a]<->[b] at [at], heal after [heal_after] seconds. *)
+
+type policy = [ `Fifo | `Random of int ]
+
+type t = { seed : int; policy : policy; faults : fault list }
+(** [faults] is kept sorted by injection time. *)
+
+type profile = {
+  crash_nodes : string list;       (** nodes eligible for crashes *)
+  partition_pairs : (string * string) list;  (** links eligible for cuts *)
+  horizon : float;                 (** latest fault injection time *)
+  max_faults : int;                (** at most this many faults per plan *)
+}
+
+val make : seed:int -> policy:policy -> faults:fault list -> t
+
+val random : seed:int -> profile:profile -> t
+(** Deterministically derive a plan from [seed]: 1..[max_faults] faults at
+    2-decimal times in [0.5, horizon], plus a policy choice. *)
+
+val fault_at : fault -> float
+
+val to_string : t -> string
+val of_string : string -> t
+(** @raise Failure on malformed input. *)
+
+val sched_policy : t -> Rrq_sim.Sched.policy
+(** The scheduler policy this plan selects. *)

@@ -1,0 +1,337 @@
+(* Checkable scenarios: small closed worlds (clients, a backend site, a
+   network) that run one fault plan to quiescence and audit themselves.
+
+   Two are built in:
+   - [quickstart]: the paper's System Model on one backend — real clerks,
+     tagged Sends and Receives, a counting server — which must satisfy
+     every auditor under any plan the explorer throws at it;
+   - [buggy_clerk]: a deliberately broken client that enqueues untagged
+     and blindly re-Sends on a reply timeout (no rid check), the canonical
+     duplicate-request bug the paper's registration tags exist to prevent.
+     It passes fault-free and violates exactly-once under faults, giving
+     the explorer and the shrinker something real to find. *)
+
+module Sched = Rrq_sim.Sched
+module Crashpoint = Rrq_sim.Crashpoint
+module Disk = Rrq_storage.Disk
+module Rng = Rrq_util.Rng
+module Net = Rrq_net.Net
+module Qm = Rrq_qm.Qm
+module Site = Rrq_core.Site
+module Server = Rrq_core.Server
+module Clerk = Rrq_core.Clerk
+module Envelope = Rrq_core.Envelope
+
+type outcome = {
+  findings : Audit.finding list;
+  trace : Sched.decision array;
+  trace_truncated : bool;
+  requests : int;
+  replies : int;
+  virtual_time : float;
+}
+
+type t = {
+  name : string;
+  profile : Plan.profile;
+  run : ?policy:Sched.policy -> Plan.t -> outcome;
+}
+
+let failed o = o.findings <> []
+
+(* ---- fault injection ---------------------------------------------------- *)
+
+(* Faults run as scheduler callbacks at their planned virtual times. A crash
+   while the node is already down is skipped (deterministically), so
+   overlapping faults cannot double-boot a site. *)
+let inject sched net site (plan : Plan.t) =
+  List.iter
+    (fun fault ->
+      match fault with
+      | Plan.Crash { node = _; at; recover_after } ->
+        Sched.at sched at (fun () ->
+            if Net.is_up (Site.node site) then
+              Site.crash_restart site ~after:recover_after)
+      | Plan.Partition { a; b; at; heal_after } ->
+        Sched.at sched at (fun () ->
+            Net.partition net a b;
+            Sched.at sched
+              (Sched.now sched +. heal_after)
+              (fun () -> Net.heal net a b)))
+    plan.Plan.faults
+
+let standard_auditors site rids =
+  let sites () = [ site ] in
+  [
+    Audit.exactly_once ~sites ~rids:(fun () -> rids);
+    Audit.queue_integrity ~sites;
+    Audit.no_in_doubt ~sites;
+  ]
+
+(* ---- quickstart: correct clerks, must always pass ----------------------- *)
+
+let quickstart_clients = 2
+let quickstart_reqs = 2
+
+let quickstart_rids =
+  List.concat
+    (List.init quickstart_clients (fun c ->
+         List.init quickstart_reqs (fun r -> Printf.sprintf "c%d-r%d" c r)))
+
+(* One well-behaved client: tagged Sends, Receives retried through outages.
+   Retry budgets comfortably exceed the worst fault schedule a profile can
+   generate, so a correct run can never report a lost request. *)
+let good_client ~client_node ~id ~replies () =
+  let client_id = Printf.sprintf "c%d" id in
+  let rec connect n =
+    match
+      Clerk.connect ~client_node ~system:"backend" ~client_id ~req_queue:"req"
+        ~retries:8 ()
+    with
+    | clerk, _ -> clerk
+    | exception Clerk.Unavailable _ when n > 0 ->
+      Sched.sleep 1.0;
+      connect (n - 1)
+  in
+  let clerk = connect 60 in
+  for r = 0 to quickstart_reqs - 1 do
+    let rid = Printf.sprintf "%s-r%d" client_id r in
+    let rec send n =
+      try ignore (Clerk.send clerk ~rid ("work:" ^ rid))
+      with Clerk.Unavailable _ when n > 0 ->
+        Sched.sleep 1.0;
+        send (n - 1)
+    in
+    send 60;
+    let deadline = Sched.clock () +. 60.0 in
+    let rec recv () =
+      let reply =
+        try Clerk.receive clerk ~timeout:2.0 ()
+        with Clerk.Unavailable _ ->
+          Sched.sleep 1.0;
+          None
+      in
+      match reply with
+      | Some env when env.Envelope.kind <> "intermediate" -> incr replies
+      | _ -> if Sched.clock () < deadline then recv ()
+    in
+    recv ()
+  done
+
+(* [armed] optionally installs a one-shot crash at a named crash site
+   ([Rrq_sim.Crashpoint]): freeze the backend disk immediately (the fiber
+   that reached the site keeps running to its next suspension, and must not
+   produce durable effects), then crash the node and restart it later. *)
+let run_quickstart ?armed ?policy (plan : Plan.t) =
+  let pol = match policy with Some p -> p | None -> Plan.sched_policy plan in
+  let replies = ref 0 in
+  let clients_done = ref 0 in
+  let body () =
+    let (findings, vt), sched =
+      Runner.run_scenario_traced ~policy:pol (fun s ->
+          let net = Net.create ~latency:0.005 s (Rng.create ((plan.Plan.seed * 7) + 1)) in
+          let site =
+            Site.create
+              ~queues:[ ("req", Qm.default_attrs) ]
+              ~stale_timeout:3.0
+              (Net.make_node net "backend")
+          in
+          ignore (Server.start site ~req_queue:"req" ~threads:2 Audit.counting_handler);
+          let client_node = Net.make_node net "client" in
+          inject s net site plan;
+          (match armed with
+          | None -> ()
+          | Some (cp_site, hit, recover_after) ->
+            Crashpoint.reset ();
+            Crashpoint.arm ~site:cp_site ~hit (fun () ->
+                let node = Site.node site in
+                let disk = Net.disk node in
+                (* The crash must be synchronous: freezing the disk and
+                   killing the node's fibers in one step, before control
+                   returns to the reaching code, so no acknowledgment of a
+                   never-durable effect can escape to a client. *)
+                Disk.kill_now disk;
+                Sched.note_fault s ("crashpoint " ^ cp_site);
+                Net.crash node;
+                Disk.revive disk;
+                Sched.at s
+                  (Sched.now s +. recover_after)
+                  (fun () -> Net.restart node);
+                (* If the site was reached from one of the node's own fibers,
+                   that fiber died mid-instruction: park it forever (it is
+                   already marked dead; the continuation is dropped). *)
+                if
+                  Sched.in_fiber ()
+                  && Sched.fiber_group (Sched.self ()) = Some (Net.node_name node)
+                then Sched.suspend (fun _ _ -> ())));
+          fun () ->
+            for c = 0 to quickstart_clients - 1 do
+              ignore
+                (Sched.fork ~name:(Printf.sprintf "client%d" c) (fun () ->
+                     good_client ~client_node ~id:c ~replies ();
+                     incr clients_done))
+            done;
+            ignore (Runner.await ~timeout:300.0 (fun () -> !clients_done = quickstart_clients));
+            (* settle: let redelivery, resolvers and the janitor quiesce *)
+            Sched.sleep 20.0;
+            (Audit.run (standard_auditors site quickstart_rids), Sched.clock ()))
+    in
+    {
+      findings;
+      trace = Sched.trace sched;
+      trace_truncated = Sched.trace_truncated sched;
+      requests = List.length quickstart_rids;
+      replies = !replies;
+      virtual_time = vt;
+    }
+  in
+  match armed with
+  | None -> body ()
+  | Some _ -> Fun.protect ~finally:Crashpoint.disable body
+
+let quickstart_profile =
+  {
+    Plan.crash_nodes = [ "backend" ];
+    partition_pairs = [ ("client", "backend") ];
+    horizon = 6.0;
+    max_faults = 3;
+  }
+
+let quickstart =
+  {
+    name = "quickstart";
+    profile = quickstart_profile;
+    run = (fun ?policy plan -> run_quickstart ?policy plan);
+  }
+
+(* ---- crash-site sweep entry points -------------------------------------- *)
+
+let fault_free = Plan.make ~seed:0 ~policy:`Fifo ~faults:[]
+
+let quickstart_crash_sites () =
+  Crashpoint.reset ();
+  Fun.protect ~finally:Crashpoint.disable (fun () ->
+      ignore (run_quickstart fault_free);
+      Crashpoint.hit_counts ())
+
+let quickstart_crash_at ~site ~hit ~recover_after =
+  run_quickstart ~armed:(site, hit, recover_after) fault_free
+
+(* ---- buggy clerk: untagged Send, blind retry ---------------------------- *)
+
+let buggy_reqs = 6
+
+let buggy_rids = List.init buggy_reqs (Printf.sprintf "bug-r%d")
+
+let run_buggy ?policy (plan : Plan.t) =
+  let pol = match policy with Some p -> p | None -> Plan.sched_policy plan in
+  let replies = ref 0 in
+  let (findings, vt), sched =
+    Runner.run_scenario_traced ~policy:pol (fun s ->
+        let net = Net.create ~latency:0.005 s (Rng.create ((plan.Plan.seed * 7) + 1)) in
+        let site =
+          Site.create
+            ~queues:[ ("req", Qm.default_attrs) ]
+            ~stale_timeout:3.0
+            (Net.make_node net "backend")
+        in
+        ignore (Server.start site ~req_queue:"req" ~threads:2 Audit.counting_handler);
+        let client_node = Net.make_node net "client" in
+        inject s net site plan;
+        fun () ->
+          let call ?(timeout = 1.0) payload =
+            Net.call client_node ~timeout ~dst:"backend" ~service:"qm" payload
+          in
+          let rec setup n =
+            try
+              ignore (call (Site.Q_create_queue "reply.bug"));
+              ignore
+                (call (Site.Q_register { queue = "req"; registrant = "bug"; stable = true }));
+              ignore
+                (call
+                   (Site.Q_register
+                      { queue = "reply.bug"; registrant = "bug"; stable = true }))
+            with _ when n > 0 ->
+              Sched.sleep 0.5;
+              setup (n - 1)
+          in
+          setup 60;
+          List.iter
+            (fun rid ->
+              let env =
+                Envelope.make ~rid ~client_id:"bug" ~reply_node:"backend"
+                  ~reply_queue:"reply.bug" ("pay:" ^ rid)
+              in
+              (* THE BUG: no registration tag on the Send, so the QM cannot
+                 suppress duplicates, and the retry below re-Sends the same
+                 rid without checking whether the first copy survived. *)
+              let blind_send () =
+                try
+                  ignore
+                    (call
+                       (Site.Q_enqueue
+                          {
+                            registrant = "bug";
+                            queue = "req";
+                            tag = None;
+                            props = Envelope.props env;
+                            priority = 0;
+                            body = Envelope.to_string env;
+                          }))
+                with _ -> ()
+              in
+              blind_send ();
+              let deadline = Sched.clock () +. 12.0 in
+              let rec recv () =
+                let got =
+                  match
+                    call ~timeout:2.5
+                      (Site.Q_dequeue
+                         {
+                           registrant = "bug";
+                           queue = "reply.bug";
+                           tag = None;
+                           filter = None;
+                           timeout = Some 1.0;
+                         })
+                  with
+                  | Site.R_element (Some _) -> true
+                  | _ -> false
+                  | exception _ -> false
+                in
+                if got then incr replies
+                else if Sched.clock () < deadline then begin
+                  blind_send ();
+                  Sched.sleep 0.1;
+                  recv ()
+                end
+              in
+              recv ();
+              Sched.sleep 0.6)
+            buggy_rids;
+          Sched.sleep 20.0;
+          (Audit.run (standard_auditors site buggy_rids), Sched.clock ()))
+  in
+  {
+    findings;
+    trace = Sched.trace sched;
+    trace_truncated = Sched.trace_truncated sched;
+    requests = buggy_reqs;
+    replies = !replies;
+    virtual_time = vt;
+  }
+
+let buggy_clerk =
+  {
+    name = "buggy";
+    profile = quickstart_profile;
+    run = (fun ?policy plan -> run_buggy ?policy plan);
+  }
+
+(* ---- registry ----------------------------------------------------------- *)
+
+let all = [ quickstart; buggy_clerk ]
+
+let by_name n = List.find_opt (fun t -> t.name = n) all
+
+let run ?policy t plan = t.run ?policy plan

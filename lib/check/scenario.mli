@@ -1,0 +1,55 @@
+(** Checkable scenarios: closed simulated worlds that run one fault plan to
+    quiescence and audit themselves through the {!Audit} registry. *)
+
+type outcome = {
+  findings : Audit.finding list;  (** Empty iff every auditor passed. *)
+  trace : Rrq_sim.Sched.decision array;
+      (** The full scheduling-decision trace of the run (replayable when
+          [trace_truncated] is false). *)
+  trace_truncated : bool;
+  requests : int;  (** Requests the clients attempted. *)
+  replies : int;  (** Replies the clients actually received. *)
+  virtual_time : float;  (** Virtual time at quiescence. *)
+}
+
+type t = {
+  name : string;
+  profile : Plan.profile;  (** Fault space the explorer draws plans from. *)
+  run : ?policy:Rrq_sim.Sched.policy -> Plan.t -> outcome;
+      (** Run one plan. [policy] overrides the plan's scheduling policy
+          (used to re-run a schedule under [Replay] of a recorded trace). *)
+}
+
+val failed : outcome -> bool
+
+val run : ?policy:Rrq_sim.Sched.policy -> t -> Plan.t -> outcome
+
+val quickstart : t
+(** The paper's System Model on one backend site: 2 correct clerks x 2
+    tagged requests against a 2-thread counting server. Must satisfy every
+    auditor under {e any} plan — a finding here is a protocol bug. *)
+
+val buggy_clerk : t
+(** A deliberately broken client: untagged Sends and a blind re-Send on
+    reply timeout with no rid check. Passes fault-free; duplicates requests
+    under crashes and partitions that overlap its active window. The
+    explorer must find (and the shrinker minimize) this violation. *)
+
+val all : t list
+val by_name : string -> t option
+
+(** {1 Crash-site sweeps}
+
+    The quickstart world is instrumented with named crash sites
+    ({!Rrq_sim.Crashpoint}) at WAL sync boundaries, 2PC decision points and
+    clerk/server steps. *)
+
+val quickstart_crash_sites : unit -> (string * int) list
+(** Probe run (fault-free, FIFO): every crash site reached, with hit
+    counts — the enumeration domain for {!quickstart_crash_at}. *)
+
+val quickstart_crash_at :
+  site:string -> hit:int -> recover_after:float -> outcome
+(** Run quickstart with a one-shot crash armed at the [hit]-th reach of the
+    named site: the backend disk freezes immediately, the node crashes and
+    restarts [recover_after] seconds later. *)

@@ -1,0 +1,56 @@
+(* Crash-point enumeration, generalizing the hand-rolled loops of the
+   crash-point and group-commit tests:
+
+   - [disk_sweep]: the durability-boundary sweep — count the sync
+     operations of a clean run, then re-run the workload once per boundary
+     with the disk frozen exactly there and audit recovery;
+   - [crash_sites]: the named-crash-site sweep — probe which
+     [Rrq_sim.Crashpoint] sites a scenario reaches (and how often), then
+     visit every (site, hit) combination. *)
+
+module Disk = Rrq_storage.Disk
+module Crashpoint = Rrq_sim.Crashpoint
+
+let run_fiber f = Runner.run_scenario (fun _s () -> f ())
+
+let disk_sweep ~make ~workload ~audit () =
+  (* Clean run: count the durability boundaries and audit the no-crash
+     outcome (point 0). *)
+  let total =
+    run_fiber (fun () ->
+        let disk = make 0 in
+        workload disk;
+        let n = Disk.sync_count disk in
+        Disk.crash disk;
+        Disk.revive disk;
+        audit ~point:0 disk;
+        n)
+  in
+  (* The sweep: freeze the disk at every sync boundary, recover, audit. *)
+  for point = 1 to total do
+    run_fiber (fun () ->
+        let disk = make point in
+        Disk.kill_after_syncs disk point;
+        workload disk;
+        Disk.revive disk;
+        audit ~point disk)
+  done;
+  total
+
+let crash_sites ?(only = fun _ -> true) ~probe ~at () =
+  let counts =
+    Crashpoint.reset ();
+    Fun.protect ~finally:Crashpoint.disable (fun () ->
+        probe ();
+        Crashpoint.hit_counts ())
+  in
+  let visited =
+    List.filter (fun (site, _) -> only site) counts
+  in
+  List.iter
+    (fun (site, n) ->
+      for hit = 1 to n do
+        at ~site ~hit
+      done)
+    visited;
+  visited

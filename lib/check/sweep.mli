@@ -1,0 +1,29 @@
+(** Crash-point enumerators: exhaustively crash a workload at every
+    durability boundary or at every named crash site, instead of at a few
+    hand-picked points. *)
+
+val disk_sweep :
+  make:(int -> Rrq_storage.Disk.t) ->
+  workload:(Rrq_storage.Disk.t -> unit) ->
+  audit:(point:int -> Rrq_storage.Disk.t -> unit) ->
+  unit ->
+  int
+(** Run [workload (make 0)] once cleanly to count its sync operations and
+    audit the crash-free outcome, then for every boundary [p] in
+    [1..total]: build a fresh disk, arm [Disk.kill_after_syncs p], run the
+    workload (the disk freezes at boundary [p]), revive and [audit ~point:p].
+    Each run executes inside its own simulation fiber. Returns the number
+    of boundaries swept. *)
+
+val crash_sites :
+  ?only:(string -> bool) ->
+  probe:(unit -> unit) ->
+  at:(site:string -> hit:int -> unit) ->
+  unit ->
+  (string * int) list
+(** Enumerate named crash sites ({!Rrq_sim.Crashpoint}): run [probe] once
+    with the registry counting to learn which sites are reached and how
+    often, then call [at] for every (site, hit) combination (sites filtered
+    by [only]). [at] is expected to re-run the scenario with a crash armed
+    at that combination and assert its own invariants. Returns the probed
+    (site, hits) list. *)

@@ -150,6 +150,7 @@ let send t ~rid ?(props = []) ?kind ?scratch ?step body =
   | Site.R_eid eid ->
     t.last_rid <- Some rid;
     t.last_eid <- Some eid;
+    Rrq_sim.Crashpoint.reach ("clerk.sent:" ^ t.client_id);
     eid
   | _ -> raise (Unavailable "unexpected reply to enqueue")
 
@@ -189,7 +190,9 @@ let receive t ?ckpt ?(timeout = 30.0) () =
     (match reply with
     | Some r when r.Envelope.kind = "intermediate" ->
       transition t Client_fsm.Receive_intermediate
-    | Some _ -> transition t Client_fsm.Receive_reply
+    | Some _ ->
+      transition t Client_fsm.Receive_reply;
+      Rrq_sim.Crashpoint.reach ("clerk.received:" ^ t.client_id)
     | None -> () (* timeout: no transition; the client will retry *));
     reply
   | _ -> raise (Unavailable "unexpected reply to dequeue")

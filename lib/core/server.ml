@@ -38,6 +38,9 @@ let process_one site ~req_queue ~registrant ?filter ~wait handler =
             emit ~dst:env.Envelope.reply_node ~queue:env.Envelope.reply_queue
               reply
           | Forward { dst; queue; env = out } -> emit ~dst ~queue out);
+          (* Crash site: handler ran and the reply is buffered, but the
+             server transaction has not committed yet. *)
+          Rrq_sim.Crashpoint.reach ("server.handled:" ^ req_queue);
           `Done)
   with
   | outcome -> outcome

@@ -1,39 +1,16 @@
-module Sched = Rrq_sim.Sched
 module Net = Rrq_net.Net
 module Rng = Rrq_util.Rng
 module Qm = Rrq_qm.Qm
-module Kvdb = Rrq_kvdb.Kvdb
-module Tm = Rrq_txn.Tm
 module Site = Rrq_core.Site
-module Server = Rrq_core.Server
-module Envelope = Rrq_core.Envelope
 
-let run_scenario f =
-  let s = Sched.create () in
-  let driver = f s in
-  let result = ref None in
-  ignore (Sched.spawn s ~name:"driver" (fun () -> result := Some (driver ())));
-  Sched.run s;
-  (match Sched.failures s with
-  | [] -> ()
-  | (name, e) :: _ ->
-    failwith
-      (Printf.sprintf "scenario: fiber %s raised %s" name (Printexc.to_string e)));
-  match !result with
-  | Some v -> v
-  | None -> failwith "scenario driver did not complete (simulated deadlock?)"
+(* The scenario driver and the audit ledger live in [Rrq_check] now, shared
+   with the simulation tester; the harness keeps its historical names. The
+   Failure wrapper preserves this module's documented contract. *)
+let run_scenario ?policy f =
+  try Rrq_check.Runner.run_scenario ?policy f
+  with Rrq_check.Runner.Scenario_failure msg -> failwith msg
 
-let await ?(timeout = 300.0) ?(poll = 0.1) pred =
-  let deadline = Sched.clock () +. timeout in
-  let rec go () =
-    if pred () then true
-    else if Sched.clock () >= deadline then false
-    else begin
-      Sched.sleep poll;
-      go ()
-    end
-  in
-  go ()
+let await = Rrq_check.Runner.await
 
 type rig = { net : Net.t; backend : Site.t; client_node : Net.node }
 
@@ -47,23 +24,6 @@ let make_rig ?(drop_rate = 0.0) ?(latency = 0.005) ?queues
   let client_node = Net.make_node net "client" in
   { net; backend; client_node }
 
-let counting_handler site txn env =
-  let kv = Site.kv site in
-  let id = Tm.txn_id txn in
-  ignore (Kvdb.add kv id ("exec:" ^ env.Envelope.rid) 1);
-  ignore (Kvdb.add kv id "total" 1);
-  Server.Reply ("done:" ^ env.Envelope.body)
-
-let exec_count site rid =
-  match Kvdb.committed_value (Site.kv site) ("exec:" ^ rid) with
-  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> 0)
-  | None -> 0
-
-let audit_executions sites ~rids =
-  List.fold_left
-    (fun (lost, exact, dup) rid ->
-      let n = List.fold_left (fun acc site -> acc + exec_count site rid) 0 sites in
-      if n = 0 then (lost + 1, exact, dup)
-      else if n = 1 then (lost, exact + 1, dup)
-      else (lost, exact, dup + 1))
-    (0, 0, 0) rids
+let counting_handler = Rrq_check.Audit.counting_handler
+let exec_count = Rrq_check.Audit.exec_count
+let audit_executions = Rrq_check.Audit.audit_executions

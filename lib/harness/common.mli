@@ -2,10 +2,13 @@
     builders and auditing helpers used by both the benchmark executable and
     the integration tests. *)
 
-val run_scenario : (Rrq_sim.Sched.t -> unit -> 'a) -> 'a
+val run_scenario :
+  ?policy:Rrq_sim.Sched.policy -> (Rrq_sim.Sched.t -> unit -> 'a) -> 'a
 (** Build a world and drive it: [f sched] runs during setup (outside any
     fiber) and returns the driver, which then runs as the root fiber; the
     call returns the driver's result once the simulation quiesces.
+    Delegates to {!Rrq_check.Runner} (one driver for experiments and the
+    simulation tester); [policy] selects the scheduling policy.
     @raise Failure if any fiber died with an unhandled exception or the
     driver never completed. *)
 

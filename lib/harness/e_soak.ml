@@ -173,12 +173,20 @@ let run_chain ?(seed = 1) ?(transfers = 6) ?(crash_mean = 1.0) () =
         let src = bal site_a "acct:src" in
         let dst = bal site_b "acct:dst" in
         let cleared = bal site_c "cleared" in
+        let conserved =
+          Rrq_check.Audit.run
+            [
+              Rrq_check.Audit.conservation ~name:"money" ~expected:1000
+                ~actual:(fun () -> src + dst);
+            ]
+          = []
+        in
         {
           seed;
           clients = transfers;
           requests = transfers;
           replies = !completed;
-          lost = (if src + dst = 1000 && dst = 100 * transfers then 0 else 1);
+          lost = (if conserved && dst = 100 * transfers then 0 else 1);
           exactly_once =
             (if dst = 100 * transfers && cleared = transfers then transfers else 0);
           duplicated = (if dst > 100 * transfers then 1 else 0);

@@ -53,8 +53,15 @@ let set_drop_rate t r = t.drop_rate <- r
 let set_latency t l = t.latency <- l
 
 let pair a b = if a <= b then (a, b) else (b, a)
-let partition t a b = Hashtbl.replace t.cuts (pair a b) ()
-let heal t a b = Hashtbl.remove t.cuts (pair a b)
+
+let partition t a b =
+  Sched.note_fault t.tsched (Printf.sprintf "partition %s/%s" a b);
+  Hashtbl.replace t.cuts (pair a b) ()
+
+let heal t a b =
+  Sched.note_fault t.tsched (Printf.sprintf "heal %s/%s" a b);
+  Hashtbl.remove t.cuts (pair a b)
+
 let partitioned t a b = Hashtbl.mem t.cuts (pair a b)
 
 let make_node ?(torn_writes = false) ?sync_latency t nname =
@@ -143,6 +150,7 @@ let cast src ~dst ~service request =
       run_service dnode ~service ~request (fun _ -> ()))
 
 let crash n =
+  Sched.note_fault n.net.tsched ("crash " ^ n.nname);
   n.up <- false;
   Sched.kill_group n.net.tsched n.nname;
   Hashtbl.reset n.services;
@@ -150,6 +158,7 @@ let crash n =
   Disk.crash n.ndisk
 
 let restart n =
+  Sched.note_fault n.net.tsched ("restart " ^ n.nname);
   n.up <- true;
   n.boot_proc n
 

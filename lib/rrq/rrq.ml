@@ -5,6 +5,7 @@
 
 (* simulation substrate *)
 module Sched = Rrq_sim.Sched
+module Crashpoint = Rrq_sim.Crashpoint
 module Chan = Rrq_sim.Chan
 module Ivar = Rrq_sim.Ivar
 module Cond = Rrq_sim.Cond
@@ -41,6 +42,13 @@ module Forwarder = Rrq_core.Forwarder
 module Autoscale = Rrq_core.Autoscale
 module Replica = Rrq_core.Replica
 module Stream_clerk = Rrq_core.Stream_clerk
+
+(* deterministic simulation testing *)
+module Audit = Rrq_check.Audit
+module Plan = Rrq_check.Plan
+module Scenario = Rrq_check.Scenario
+module Explore = Rrq_check.Explore
+module Sweep = Rrq_check.Sweep
 
 (* baselines and utilities *)
 module Plain = Rrq_baseline.Plain

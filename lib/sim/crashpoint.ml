@@ -1,0 +1,56 @@
+(* Named crash sites, FoundationDB-BUGGIFY style. Library code marks the
+   boundaries where a crash is interesting (a WAL force, a 2PC decision, a
+   clerk step) with [reach]; normally that is a single branch on a false
+   flag. A crash-point sweep enables the registry, probes a clean run to
+   count how often each site is hit, then re-runs the scenario once per
+   (site, hit) with a crash action armed there — exhaustive
+   crash-at-every-site coverage without hand-maintained sweep loops.
+
+   The registry is global: the simulator is single-threaded and scenarios
+   run one at a time, and threading a registry handle through every library
+   layer would put test plumbing in every signature. *)
+
+type armed = { a_site : string; a_hit : int; a_action : unit -> unit }
+
+let on = ref false
+let counts : (string, int) Hashtbl.t = Hashtbl.create 64
+let trigger : armed option ref = ref None
+
+let enabled () = !on
+
+let reset () =
+  on := true;
+  Hashtbl.reset counts;
+  trigger := None
+
+let disable () =
+  on := false;
+  Hashtbl.reset counts;
+  trigger := None
+
+let arm ~site ~hit action =
+  if not !on then invalid_arg "Crashpoint.arm: registry not enabled (reset first)";
+  if hit < 1 then invalid_arg "Crashpoint.arm: hit must be >= 1";
+  trigger := Some { a_site = site; a_hit = hit; a_action = action }
+
+let armed () =
+  match !trigger with Some a -> Some (a.a_site, a.a_hit) | None -> None
+
+let reach site =
+  if !on then begin
+    let n = 1 + Option.value ~default:0 (Hashtbl.find_opt counts site) in
+    Hashtbl.replace counts site n;
+    match !trigger with
+    | Some a when a.a_site = site && a.a_hit = n ->
+      (* One-shot: disarm before firing so the action (which may restart the
+         very component hosting this site) cannot re-trigger itself. *)
+      trigger := None;
+      a.a_action ()
+    | _ -> ()
+  end
+
+let hits site = Option.value ~default:0 (Hashtbl.find_opt counts site)
+
+let hit_counts () =
+  Hashtbl.fold (fun site n acc -> (site, n) :: acc) counts []
+  |> List.sort compare

@@ -61,30 +61,191 @@ module Heap = struct
     h.arr.(0).time
 end
 
+(* Ready set: an indexable queue so a scheduling policy can pick any entry,
+   not just the head. [take 0] (the FIFO fast path) is O(1); removing from
+   the middle shifts the tail, which is fine because ready sets are small. *)
+module Ready = struct
+  type entry = { prio : int; rthunk : unit -> unit }
+
+  type q = { mutable arr : entry array; mutable head : int; mutable len : int }
+
+  let dummy = { prio = 0; rthunk = (fun () -> ()) }
+  let create () = { arr = Array.make 64 dummy; head = 0; len = 0 }
+  let length q = q.len
+
+  let push q prio rthunk =
+    if q.head + q.len = Array.length q.arr then begin
+      let cap = Array.length q.arr in
+      let newcap = if 2 * q.len > cap then 2 * cap else cap in
+      let dst = Array.make newcap dummy in
+      Array.blit q.arr q.head dst 0 q.len;
+      q.arr <- dst;
+      q.head <- 0
+    end;
+    q.arr.(q.head + q.len) <- { prio; rthunk };
+    q.len <- q.len + 1
+
+  (* Index (relative to the head) of the maximum-priority entry; ties go to
+     the oldest, so equal priorities degrade to FIFO. *)
+  let argmax_prio q =
+    let best = ref 0 in
+    for i = 1 to q.len - 1 do
+      if q.arr.(q.head + i).prio > q.arr.(q.head + !best).prio then best := i
+    done;
+    !best
+
+  let take q i =
+    assert (i >= 0 && i < q.len);
+    let e = q.arr.(q.head + i) in
+    if i = 0 then begin
+      q.arr.(q.head) <- dummy;
+      q.head <- q.head + 1
+    end
+    else begin
+      for j = q.head + i to q.head + q.len - 2 do
+        q.arr.(j) <- q.arr.(j + 1)
+      done;
+      q.arr.(q.head + q.len - 1) <- dummy
+    end;
+    q.len <- q.len - 1;
+    if q.len = 0 then q.head <- 0;
+    e.rthunk
+end
+
+type decision = Pick of int | Timer_fired of int | Fault of string
+
+type policy =
+  | Fifo
+  | Random_priority of int
+  | Replay of decision array
+
+(* Picks and timer firings are stored as one int each: [Pick i] as [2i],
+   [Timer_fired seq] as [2*seq+1]. Faults carry a string and are rare, so
+   they live in a side list keyed by their position in the decision
+   sequence. *)
+let enc_pick i = i lsl 1
+let enc_timer seq = (seq lsl 1) lor 1
+
+let dec code = if code land 1 = 0 then Pick (code lsr 1) else Timer_fired (code lsr 1)
+
+let decision_to_string = function
+  | Pick i -> "p" ^ string_of_int i
+  | Timer_fired s -> "t" ^ string_of_int s
+  | Fault l -> "f:" ^ l
+
+let decision_of_string s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Sched.decision_of_string: empty"
+  else if s.[0] = 'p' then Pick (int_of_string (String.sub s 1 (n - 1)))
+  else if s.[0] = 't' then Timer_fired (int_of_string (String.sub s 1 (n - 1)))
+  else if n >= 2 && s.[0] = 'f' && s.[1] = ':' then Fault (String.sub s 2 (n - 2))
+  else invalid_arg ("Sched.decision_of_string: " ^ s)
+
+let trace_to_string ds =
+  String.concat ";" (Array.to_list (Array.map decision_to_string ds))
+
+let trace_of_string s =
+  if s = "" then [||]
+  else Array.of_list (List.map decision_of_string (String.split_on_char ';' s))
+
+let recent_size = 24
+
 type t = {
   mutable vnow : float;
-  ready : (unit -> unit) Queue.t;
+  ready : Ready.q;
   timers : Heap.h;
   mutable fg_timers : int; (* non-background timers still in the heap *)
   mutable seq : int;
   mutable next_fid : int;
   mutable fiber_table : fiber list;
   mutable errors : (string * exn) list;
+  pol : policy;
+  prng : Rrq_util.Rng.t option; (* priority source for Random_priority *)
+  mutable replay_pos : int; (* cursor into the Replay decision array *)
+  (* Decision trace: encoded picks/timer firings up to [tr_limit], plus a
+     side list of injected faults. [n_decisions] counts past the limit so
+     truncation is detectable; [recent] is a ring of the last few encoded
+     decisions for livelock diagnostics. *)
+  mutable tr : int array;
+  mutable tr_len : int;
+  tr_limit : int;
+  mutable n_decisions : int;
+  mutable faults : (int * string) list; (* (position, label), newest first *)
+  recent : int array;
+  mutable recent_n : int;
 }
 
-let create () =
+let create ?(policy = Fifo) ?(trace_limit = 1_000_000) () =
   {
     vnow = 0.0;
-    ready = Queue.create ();
+    ready = Ready.create ();
     timers = Heap.create ();
     fg_timers = 0;
     seq = 0;
     next_fid = 0;
     fiber_table = [];
     errors = [];
+    pol = policy;
+    prng =
+      (match policy with
+      | Random_priority seed -> Some (Rrq_util.Rng.create seed)
+      | Fifo | Replay _ -> None);
+    replay_pos = 0;
+    tr = [||];
+    tr_len = 0;
+    tr_limit = max 0 trace_limit;
+    n_decisions = 0;
+    faults = [];
+    recent = Array.make recent_size (-1);
+    recent_n = 0;
   }
 
 let now t = t.vnow
+
+let record t code =
+  if t.tr_len < t.tr_limit then begin
+    if t.tr_len = Array.length t.tr then begin
+      let bigger = Array.make (max 256 (2 * t.tr_len)) 0 in
+      Array.blit t.tr 0 bigger 0 t.tr_len;
+      t.tr <- bigger
+    end;
+    t.tr.(t.tr_len) <- code;
+    t.tr_len <- t.tr_len + 1
+  end;
+  t.recent.(t.n_decisions mod recent_size) <- code;
+  t.recent_n <- min recent_size (t.recent_n + 1);
+  t.n_decisions <- t.n_decisions + 1
+
+let note_fault t label = t.faults <- (t.n_decisions, label) :: t.faults
+
+(* Decisions in order, with each fault note spliced in at the position it
+   was injected (faults recorded at position [p] precede the p-th pick). *)
+let trace t =
+  let faults = ref (List.rev t.faults) in
+  let acc = ref [] in
+  let splice_up_to pos =
+    let continue_ = ref true in
+    while !continue_ do
+      match !faults with
+      | (p, l) :: rest when p <= pos ->
+        faults := rest;
+        acc := Fault l :: !acc
+      | _ -> continue_ := false
+    done
+  in
+  for i = 0 to t.tr_len - 1 do
+    splice_up_to i;
+    acc := dec t.tr.(i) :: !acc
+  done;
+  splice_up_to max_int;
+  Array.of_list (List.rev !acc)
+
+let trace_truncated t = t.n_decisions > t.tr_len
+
+let recent_decisions t =
+  let n = t.recent_n in
+  List.init n (fun i ->
+      dec t.recent.((t.n_decisions - n + i) mod recent_size))
 
 let at ?(background = false) t time thunk =
   t.seq <- t.seq + 1;
@@ -92,7 +253,9 @@ let at ?(background = false) t time thunk =
   Heap.push t.timers
     { time = Float.max time t.vnow; seq = t.seq; bg = background; thunk }
 
-let push_ready t thunk = Queue.push thunk t.ready
+let push_ready t thunk =
+  let prio = match t.prng with Some rng -> Rrq_util.Rng.int rng 1_000_000 | None -> 0 in
+  Ready.push t.ready prio thunk
 
 type 'a waker = {
   mutable used : bool;
@@ -202,14 +365,62 @@ let live_fibers t =
 
 let failures t = List.rev t.errors
 
+(* The next recorded pick of a replayed trace; non-pick entries (timer
+   firings, fault notes) are informational and skipped. A divergent or
+   exhausted trace degrades to FIFO rather than failing, so a replay of a
+   slightly-stale trace still runs to completion. *)
+let replay_pick t arr n =
+  let rec go () =
+    if t.replay_pos >= Array.length arr then 0
+    else begin
+      let d = arr.(t.replay_pos) in
+      t.replay_pos <- t.replay_pos + 1;
+      match d with
+      | Pick i -> if i < n then i else 0
+      | Timer_fired _ | Fault _ -> go ()
+    end
+  in
+  go ()
+
+let pick_index t n =
+  match t.pol with
+  | Fifo -> 0
+  | Random_priority _ -> Ready.argmax_prio t.ready
+  | Replay arr -> replay_pick t arr n
+
+let limit_failure t =
+  let live = live_fibers t in
+  let shown, more =
+    let rec split n acc = function
+      | [] -> (List.rev acc, 0)
+      | rest when n = 0 -> (List.rev acc, List.length rest)
+      | x :: rest -> split (n - 1) (x :: acc) rest
+    in
+    split 20 [] live
+  in
+  let live_s =
+    String.concat ", " shown
+    ^ if more > 0 then Printf.sprintf ", ...(+%d more)" more else ""
+  in
+  let recent_s =
+    String.concat " " (List.map decision_to_string (recent_decisions t))
+  in
+  Printf.sprintf
+    "Sched.run: step limit exceeded (livelock?) at t=%.3f; %d live fibers: \
+     [%s]; last %d decisions: %s"
+    t.vnow (List.length live) live_s (List.length (recent_decisions t)) recent_s
+
 let run ?(max_steps = 50_000_000) t =
   let steps = ref 0 in
   let continue_ = ref true in
   while !continue_ do
-    if not (Queue.is_empty t.ready) then begin
+    let n = Ready.length t.ready in
+    if n > 0 then begin
       incr steps;
-      if !steps > max_steps then failwith "Sched.run: step limit exceeded (livelock?)";
-      let thunk = Queue.pop t.ready in
+      if !steps > max_steps then failwith (limit_failure t);
+      let i = pick_index t n in
+      record t (enc_pick i);
+      let thunk = Ready.take t.ready i in
       thunk ()
     end
     else if (not (Heap.is_empty t.timers)) && t.fg_timers > 0 then begin
@@ -217,7 +428,8 @@ let run ?(max_steps = 50_000_000) t =
       let e = Heap.pop t.timers in
       if not e.Heap.bg then t.fg_timers <- t.fg_timers - 1;
       incr steps;
-      if !steps > max_steps then failwith "Sched.run: step limit exceeded (livelock?)";
+      if !steps > max_steps then failwith (limit_failure t);
+      record t (enc_timer e.Heap.seq);
       e.Heap.thunk ()
     end
     else continue_ := false

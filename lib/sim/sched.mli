@@ -23,8 +23,63 @@ type t
 type fiber
 (** Handle to a spawned fiber. *)
 
-val create : unit -> t
-(** Fresh scheduler at virtual time 0.0. *)
+(** {1 Scheduling policy and decision trace}
+
+    Every scheduling decision — which ready fiber continuation runs next,
+    which timer fires, which fault an experiment injected — is recorded as a
+    compact trace. Because fibers are cooperative and all other randomness
+    draws from explicit seeds, a run is a pure function of (program, seeds,
+    decision sequence): replaying a recorded trace through {!Replay}
+    reproduces the run event-for-event. This is the substrate of the
+    simulation-testing layer in [lib/check]. *)
+
+type decision =
+  | Pick of int  (** Chose the i-th entry (0 = oldest) of the ready set. *)
+  | Timer_fired of int  (** A timer (identified by its sequence no.) fired. *)
+  | Fault of string  (** Externally injected fault, via {!note_fault}. *)
+
+type policy =
+  | Fifo  (** Historical behavior: always run the oldest ready entry. *)
+  | Random_priority of int
+      (** PCT-style randomized priorities (seeded): every ready entry gets a
+          random priority at enqueue time and the highest runs first, so the
+          same program explores a different interleaving per seed. *)
+  | Replay of decision array
+      (** Follow the picks of a recorded trace. Non-pick entries are
+          informational and skipped; a divergent or exhausted trace degrades
+          to FIFO rather than failing. *)
+
+val create : ?policy:policy -> ?trace_limit:int -> unit -> t
+(** Fresh scheduler at virtual time 0.0. [policy] defaults to [Fifo];
+    [trace_limit] (default 1M) bounds how many decisions are retained for
+    {!trace} — decisions past the limit still execute (and still show in
+    {!trace_truncated} and the livelock diagnostics), they are just not
+    replayable. *)
+
+val trace : t -> decision array
+(** The decisions recorded so far, oldest first, with fault notes spliced in
+    at the position they were injected. Feed to {!Replay} to reproduce the
+    run, or serialize with {!trace_to_string}. *)
+
+val trace_truncated : t -> bool
+(** Whether the run outgrew [trace_limit] (the trace is then a prefix and no
+    longer replayable). *)
+
+val note_fault : t -> string -> unit
+(** Record an injected fault (crash, partition, ...) in the decision trace,
+    so failure schedules are visible in replays and diagnostics. *)
+
+val decision_to_string : decision -> string
+(** Compact form: ["p3"], ["t17"], ["f:crash backend"]. *)
+
+val decision_of_string : string -> decision
+(** Inverse of {!decision_to_string}.
+    @raise Invalid_argument on malformed input. *)
+
+val trace_to_string : decision array -> string
+(** Semicolon-joined {!decision_to_string} forms (a copy-pastable trace). *)
+
+val trace_of_string : string -> decision array
 
 val now : t -> float
 (** Current virtual time. *)
@@ -37,7 +92,9 @@ val spawn : t -> ?group:string -> name:string -> (unit -> unit) -> fiber
 val run : ?max_steps:int -> t -> unit
 (** Execute fibers until no fiber is runnable and no timer is pending.
     @raise Failure if more than [max_steps] events execute (default 50M),
-    which indicates a livelock in the simulated program. *)
+    which indicates a livelock in the simulated program. The failure message
+    names the live fibers and the last few scheduling decisions, so a
+    simulated livelock is diagnosable from test output alone. *)
 
 val kill : t -> fiber -> unit
 (** Mark one fiber dead. It never runs again. *)

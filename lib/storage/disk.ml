@@ -153,6 +153,18 @@ let list_files t =
 let crash t = crash_now t
 
 let kill_after_syncs t n = t.kill_in <- Some n
+
+(* Immediate freeze: same terminal state as an exhausted [kill_after_syncs]
+   countdown — unsynced bytes are gone and nothing persists until [revive].
+   Crash actions armed at named crash sites use this so the fiber that
+   reached the site cannot leak durable writes before the scheduled node
+   crash lands. *)
+let kill_now t =
+  if not t.dead then begin
+    t.kill_in <- None;
+    t.dead <- true;
+    crash_now t
+  end
 let revive t =
   t.dead <- false;
   t.kill_in <- None

@@ -96,6 +96,14 @@ val kill_after_syncs : t -> int -> unit
     crash-point sweep tests to stop the world at every possible durability
     boundary. *)
 
+val kill_now : t -> unit
+(** Freeze the disk immediately: unsynced bytes are discarded and every
+    later write or sync is silently ignored until {!revive} — the same
+    terminal state as a fired {!kill_after_syncs} trigger. Used by crash
+    actions armed at named crash sites ([Rrq_sim.Crashpoint]), where the
+    fiber that reached the site keeps running until its next suspension
+    point and must not produce durable effects in that window. *)
+
 val revive : t -> unit
 (** Clear the dead state (the "replacement hardware" for the next
     incarnation); durable contents are untouched. *)

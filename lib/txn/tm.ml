@@ -241,12 +241,14 @@ let commit t txn =
       end
       else begin
         let pnames = List.map (fun p -> p.part_name) parts in
+        Rrq_sim.Crashpoint.reach ("tm.prepared:" ^ t.tm_name);
         (* The txn stays in [deciding] (answering [`Pending]) until the
            decision record is durable: under a batched force this fiber may
            park here, and resolvers must not observe a commit outcome that a
            crash could still revoke. *)
         Group_commit.append t.gc (encode_decision txn.id pnames);
         Group_commit.force t.gc;
+        Rrq_sim.Crashpoint.reach ("tm.decided:" ^ t.tm_name);
         Hashtbl.replace t.pending txn.id (ref pnames);
         Hashtbl.remove t.deciding txn.id;
         t.n_committed <- t.n_committed + 1;

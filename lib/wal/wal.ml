@@ -154,14 +154,17 @@ let append t payload =
    injection), the flush did not persist and [durable_lsn] must not move:
    group commit uses that to decide which waiters it may acknowledge. *)
 let sync t =
+  Rrq_sim.Crashpoint.reach ("wal.sync:" ^ t.base);
   Disk.sync t.file;
-  if not (Disk.is_dead t.disk) then t.durable_lsn <- t.appended_lsn
+  if not (Disk.is_dead t.disk) then t.durable_lsn <- t.appended_lsn;
+  Rrq_sim.Crashpoint.reach ("wal.synced:" ^ t.base)
 
 let append_sync t payload =
   append t payload;
   sync t
 
 let checkpoint t snapshot =
+  Rrq_sim.Crashpoint.reach ("wal.ckpt:" ^ t.base);
   let next = t.seg + 1 in
   let e = Codec.encoder () in
   Codec.int e next;

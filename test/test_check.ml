@@ -1,0 +1,279 @@
+(* The simulation-testing subsystem, tested on itself:
+
+   - scheduling policies: randomized priorities really explore different
+     interleavings, and both policies are deterministic per seed;
+   - decision traces: record/replay reproduces a run event-for-event, and
+     the trace and plan codecs round-trip;
+   - the explorer: >= 200 schedules on the correct protocol pass every
+     auditor, and the intentionally buggy clerk (untagged blind re-Send) is
+     caught and shrunk to a minimal still-failing plan;
+   - the crash-site enumerator: every (site, hit) combination of the
+     quickstart world recovers cleanly. *)
+
+module Sched = Rrq_sim.Sched
+module C = Rrq_check
+
+(* ---- scheduling policies ------------------------------------------------ *)
+
+(* Five fibers, each yielding between appends: the execution order is the
+   scheduler's choice and nothing else. *)
+let interleaving policy =
+  let order = ref [] in
+  let s = Sched.create ~policy () in
+  for i = 0 to 4 do
+    ignore
+      (Sched.spawn s ~name:(Printf.sprintf "f%d" i) (fun () ->
+           for step = 0 to 2 do
+             order := (i, step) :: !order;
+             Sched.yield ()
+           done))
+  done;
+  Sched.run s;
+  (List.rev !order, s)
+
+let test_policies () =
+  let fifo, _ = interleaving Sched.Fifo in
+  let rand1, _ = interleaving (Sched.Random_priority 7) in
+  let rand1', _ = interleaving (Sched.Random_priority 7) in
+  let rand2, _ = interleaving (Sched.Random_priority 8) in
+  Alcotest.(check bool)
+    "random priorities change the interleaving" true (fifo <> rand1);
+  Alcotest.(check bool) "same seed, same interleaving" true (rand1 = rand1');
+  Alcotest.(check bool)
+    "different seeds explore differently" true (rand1 <> rand2)
+
+let test_trace_replay () =
+  let original, s = interleaving (Sched.Random_priority 42) in
+  Alcotest.(check bool) "trace not truncated" false (Sched.trace_truncated s);
+  let trace = Sched.trace s in
+  Alcotest.(check bool) "trace is non-trivial" true (Array.length trace > 10);
+  let replayed, s' = interleaving (Sched.Replay trace) in
+  Alcotest.(check bool)
+    "replay reproduces the event order" true (original = replayed);
+  Alcotest.(check string) "replay re-records the same trace"
+    (Sched.trace_to_string trace)
+    (Sched.trace_to_string (Sched.trace s'))
+
+let test_trace_codec () =
+  List.iter
+    (fun d ->
+      Alcotest.(check string) "decision roundtrip"
+        (Sched.decision_to_string d)
+        (Sched.decision_to_string
+           (Sched.decision_of_string (Sched.decision_to_string d))))
+    [ Sched.Pick 0; Sched.Pick 31; Sched.Timer_fired 17; Sched.Fault "crash b" ];
+  let _, s = interleaving (Sched.Random_priority 3) in
+  Sched.note_fault s "synthetic";
+  let t = Sched.trace s in
+  Alcotest.(check string) "trace roundtrip" (Sched.trace_to_string t)
+    (Sched.trace_to_string (Sched.trace_of_string (Sched.trace_to_string t)))
+
+(* A livelock's step-limit failure must name the spinning fibers and the
+   recent decisions, so it is diagnosable from test output alone. *)
+let test_step_limit_diagnostics () =
+  let s = Sched.create () in
+  ignore
+    (Sched.spawn s ~name:"spinner-a" (fun () ->
+         while true do
+           Sched.yield ()
+         done));
+  ignore
+    (Sched.spawn s ~name:"spinner-b" (fun () ->
+         while true do
+           Sched.yield ()
+         done));
+  match Sched.run ~max_steps:200 s with
+  | () -> Alcotest.fail "expected a step-limit failure"
+  | exception Failure msg ->
+    let contains needle =
+      let nl = String.length needle and ml = String.length msg in
+      let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "names the live fibers" true (contains "spinner-a");
+    Alcotest.(check bool) "both of them" true (contains "spinner-b");
+    Alcotest.(check bool) "shows recent decisions" true (contains "decisions")
+
+(* ---- plan codec --------------------------------------------------------- *)
+
+let profile = C.Scenario.quickstart.C.Scenario.profile
+
+let test_plan_codec () =
+  for seed = 1 to 50 do
+    let plan = C.Plan.random ~seed ~profile in
+    let back = C.Plan.of_string (C.Plan.to_string plan) in
+    Alcotest.(check string)
+      (Printf.sprintf "plan %d roundtrips" seed)
+      (C.Plan.to_string plan) (C.Plan.to_string back);
+    Alcotest.(check bool)
+      (Printf.sprintf "plan %d equal after roundtrip" seed)
+      true (plan = back)
+  done
+
+(* ---- the explorer on the correct protocol ------------------------------- *)
+
+let test_explore_correct () =
+  let report = C.Explore.run ~budget:200 ~seed:1 C.Scenario.quickstart in
+  Alcotest.(check int) "explored the whole budget" 200 report.C.Explore.explored;
+  Alcotest.(check int) "every schedule passed" 200 report.C.Explore.passed;
+  Alcotest.(check bool) "no failure" true (report.C.Explore.failure = None)
+
+(* ---- the explorer on the buggy clerk ------------------------------------ *)
+
+let test_explore_buggy_and_shrink () =
+  let report = C.Explore.run ~budget:100 ~seed:1 C.Scenario.buggy_clerk in
+  let f =
+    match report.C.Explore.failure with
+    | Some f -> f
+    | None -> Alcotest.fail "explorer failed to catch the buggy clerk"
+  in
+  Alcotest.(check bool) "the failing outcome has findings" true
+    (f.C.Explore.outcome.C.Scenario.findings <> []);
+  let minimal = C.Explore.minimal_plan f in
+  Alcotest.(check bool) "shrunk plan is no larger" true
+    (List.length minimal.C.Plan.faults <= List.length f.C.Explore.plan.C.Plan.faults);
+  (* The minimized plan must still fail... *)
+  let o = C.Scenario.run C.Scenario.buggy_clerk minimal in
+  Alcotest.(check bool) "minimal plan still fails" true (C.Scenario.failed o);
+  (* ... and be minimal under single-fault removal. *)
+  List.iteri
+    (fun i _ ->
+      let without =
+        {
+          minimal with
+          C.Plan.faults = List.filteri (fun j _ -> j <> i) minimal.C.Plan.faults;
+        }
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "dropping fault %d makes it pass" i)
+        false
+        (C.Scenario.failed (C.Scenario.run C.Scenario.buggy_clerk without)))
+    minimal.C.Plan.faults;
+  (* The printed repro must parse back to the minimal plan. *)
+  let line = C.Explore.repro_line "buggy" minimal in
+  Alcotest.(check bool) "repro line carries the plan" true
+    (String.length line > String.length (C.Plan.to_string minimal))
+
+(* A scenario run is a pure function of its plan: same plan, same outcome,
+   same decision trace. *)
+let test_outcome_determinism () =
+  let plan = C.Explore.plan_of_index C.Scenario.quickstart ~seed:5 3 in
+  let o1 = C.Scenario.run C.Scenario.quickstart plan in
+  let o2 = C.Scenario.run C.Scenario.quickstart plan in
+  Alcotest.(check string) "same findings"
+    (C.Audit.findings_to_string o1.C.Scenario.findings)
+    (C.Audit.findings_to_string o2.C.Scenario.findings);
+  Alcotest.(check int) "same replies" o1.C.Scenario.replies o2.C.Scenario.replies;
+  Alcotest.(check (float 0.0)) "same virtual time" o1.C.Scenario.virtual_time
+    o2.C.Scenario.virtual_time;
+  Alcotest.(check string) "same decision trace"
+    (Sched.trace_to_string o1.C.Scenario.trace)
+    (Sched.trace_to_string o2.C.Scenario.trace)
+
+(* Replaying a recorded trace through the Replay policy reproduces the
+   identical audit outcome — on a failing schedule of the buggy clerk. *)
+let test_replay_reproduces_failure () =
+  let report = C.Explore.run ~budget:100 ~seed:1 ~shrink_failures:false C.Scenario.buggy_clerk in
+  let f =
+    match report.C.Explore.failure with
+    | Some f -> f
+    | None -> Alcotest.fail "no failure to replay"
+  in
+  let o1 = f.C.Explore.outcome in
+  Alcotest.(check bool) "trace replayable" false o1.C.Scenario.trace_truncated;
+  let o2 =
+    C.Scenario.run ~policy:(Sched.Replay o1.C.Scenario.trace)
+      C.Scenario.buggy_clerk f.C.Explore.plan
+  in
+  Alcotest.(check string) "replay reproduces the audit result"
+    (C.Audit.findings_to_string o1.C.Scenario.findings)
+    (C.Audit.findings_to_string o2.C.Scenario.findings);
+  Alcotest.(check int) "replay reproduces the replies" o1.C.Scenario.replies
+    o2.C.Scenario.replies;
+  Alcotest.(check string) "replay re-records the identical trace"
+    (Sched.trace_to_string o1.C.Scenario.trace)
+    (Sched.trace_to_string o2.C.Scenario.trace)
+
+(* ---- the crash-site enumerator ------------------------------------------ *)
+
+let test_crash_site_sweep () =
+  let failures = ref [] in
+  let visited =
+    C.Sweep.crash_sites
+      ~probe:(fun () ->
+        let clean = C.Plan.make ~seed:0 ~policy:`Fifo ~faults:[] in
+        ignore (C.Scenario.run C.Scenario.quickstart clean))
+      ~at:(fun ~site ~hit ->
+        let o = C.Scenario.quickstart_crash_at ~site ~hit ~recover_after:1.0 in
+        if C.Scenario.failed o then
+          failures :=
+            Printf.sprintf "%s hit %d: %s" site hit
+              (C.Audit.findings_to_string o.C.Scenario.findings)
+            :: !failures)
+      ()
+  in
+  let has prefix =
+    List.exists
+      (fun (site, _) ->
+        String.length site >= String.length prefix
+        && String.sub site 0 (String.length prefix) = prefix)
+      visited
+  in
+  Alcotest.(check bool) "probe found WAL sync sites" true (has "wal.sync:");
+  Alcotest.(check bool) "probe found 2PC decision sites" true (has "tm.");
+  Alcotest.(check bool) "probe found clerk sites" true (has "clerk.");
+  Alcotest.(check bool) "probe found the server commit site" true
+    (has "server.handled:req");
+  let combos = List.fold_left (fun a (_, n) -> a + n) 0 visited in
+  Alcotest.(check bool)
+    (Printf.sprintf "swept a substantial site space (%d combos)" combos)
+    true (combos >= 50);
+  Alcotest.(check (list string)) "every crash point recovered cleanly" []
+    (List.rev !failures)
+
+(* ---- property: auditors hold under arbitrary small fault schedules ------ *)
+
+let prop_quickstart_audits_hold =
+  QCheck2.Test.make ~name:"quickstart passes all auditors under random plans"
+    ~count:25
+    QCheck2.Gen.(int_range 1 1_000_000)
+    (fun seed ->
+      let base = C.Plan.random ~seed ~profile in
+      List.for_all
+        (fun policy ->
+          let plan = { base with C.Plan.policy } in
+          let o = C.Scenario.run C.Scenario.quickstart plan in
+          if C.Scenario.failed o then
+            QCheck2.Test.fail_reportf "plan %s: %s" (C.Plan.to_string plan)
+              (C.Audit.findings_to_string o.C.Scenario.findings)
+          else true)
+        [ `Fifo; `Random (seed * 31) ])
+
+let () =
+  Alcotest.run "rrq-check"
+    [
+      ( "sched",
+        [
+          Alcotest.test_case "scheduling policies" `Quick test_policies;
+          Alcotest.test_case "trace record/replay" `Quick test_trace_replay;
+          Alcotest.test_case "trace codec" `Quick test_trace_codec;
+          Alcotest.test_case "step-limit diagnostics" `Quick
+            test_step_limit_diagnostics;
+        ] );
+      ("plan", [ Alcotest.test_case "codec roundtrip" `Quick test_plan_codec ]);
+      ( "explore",
+        [
+          Alcotest.test_case "correct protocol: 200 schedules" `Slow
+            test_explore_correct;
+          Alcotest.test_case "buggy clerk caught and shrunk" `Quick
+            test_explore_buggy_and_shrink;
+          Alcotest.test_case "outcome determinism" `Quick
+            test_outcome_determinism;
+          Alcotest.test_case "trace replay reproduces failure" `Quick
+            test_replay_reproduces_failure;
+        ] );
+      ( "crashpoints",
+        [ Alcotest.test_case "exhaustive site sweep" `Slow test_crash_site_sweep ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest ~long:true prop_quickstart_audits_hold ] );
+    ]

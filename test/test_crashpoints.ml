@@ -116,41 +116,28 @@ let policies =
 let test_sweep () =
   List.iter
     (fun (pname, commit_policy) ->
-      (* First, a clean run to count the durability boundaries. *)
+      (* The generic enumerator counts the durability boundaries on a clean
+         run (point 0, which must also show the fully-durable end state),
+         then freezes the disk at every boundary and audits recovery. *)
       let total_syncs =
-        H.run_fiber (fun () ->
-            let disk = Disk.create "clean" in
-            workload ?commit_policy disk;
-            Disk.sync_count disk)
+        Rrq_check.Sweep.disk_sweep
+          ~make:(fun point -> Disk.create (Printf.sprintf "%s-sweep%d" pname point))
+          ~workload:(workload ?commit_policy)
+          ~audit:(fun ~point disk ->
+            let audit = recover_and_audit disk in
+            check_invariants ~point audit;
+            if point = 0 then begin
+              let tag, first_present, second_present, got = audit in
+              Alcotest.(check (option string)) (pname ^ ": final tag") (Some "r2") tag;
+              Alcotest.(check bool) (pname ^ ": final first gone") false first_present;
+              Alcotest.(check bool) (pname ^ ": final second there") true second_present;
+              Alcotest.(check bool) (pname ^ ": final got") true got
+            end)
+          ()
       in
       Alcotest.(check bool)
         (pname ^ ": workload has enough sync points")
-        true (total_syncs > 8);
-      (* Clean-run audit: everything durable. *)
-      H.run_fiber (fun () ->
-          let disk = Disk.create "clean2" in
-          workload ?commit_policy disk;
-          Disk.crash disk;
-          Disk.revive disk;
-          let audit = recover_and_audit disk in
-          check_invariants ~point:(-1) audit;
-          let tag, first_present, second_present, got = audit in
-          Alcotest.(check (option string)) (pname ^ ": final tag") (Some "r2") tag;
-          Alcotest.(check bool) (pname ^ ": final first gone") false first_present;
-          Alcotest.(check bool) (pname ^ ": final second there") true second_present;
-          Alcotest.(check bool) (pname ^ ": final got") true got);
-      (* The sweep: freeze at every sync boundary. *)
-      for point = 1 to total_syncs do
-        H.run_fiber (fun () ->
-            let disk = Disk.create (Printf.sprintf "sweep%d" point) in
-            Disk.kill_after_syncs disk point;
-            workload ?commit_policy disk;
-            Alcotest.(check bool)
-              (Printf.sprintf "%s: disk froze at point %d" pname point)
-              true (Disk.is_dead disk);
-            Disk.revive disk;
-            check_invariants ~point (recover_and_audit disk))
-      done)
+        true (total_syncs > 8))
     policies
 
 (* The same sweep, but the crash lands during the *recovery* of the first

@@ -1,6 +1,7 @@
 (* Seeded mini-soaks inside the regular test suite: random crash/partition
    schedules against the single-site system model and the 3-site transfer
-   chain. The full-size version is `rrq_demo soak`. *)
+   chain. The full-size version is `rrq_demo soak`; the extended seed lists
+   here are tagged `Slow (skipped under ALCOTEST_QUICK_TESTS=1). *)
 
 module E_soak = Rrq_harness.E_soak
 
@@ -11,29 +12,45 @@ let check_ok tag (r : E_soak.result) =
     (tag ^ ": every reply delivered")
     r.E_soak.requests r.E_soak.replies
 
-let test_request_soak () =
+let request_soak seeds () =
   List.iter
     (fun seed ->
       let r =
         E_soak.run ~seed ~clients:4 ~per_client:5 ~drop:0.08 ~crash_mean:3.0 ()
       in
       check_ok (Printf.sprintf "seed %d" seed) r)
-    [ 101; 102; 103 ]
+    seeds
 
-let test_chain_soak () =
+let chain_soak seeds () =
   List.iter
     (fun seed ->
-      let r = E_soak.run_chain ~seed ~transfers:4 ()
-      in
+      let r = E_soak.run_chain ~seed ~transfers:4 () in
       check_ok (Printf.sprintf "chain seed %d" seed) r)
-    [ 201; 202 ]
+    seeds
+
+(* The soak is a deterministic simulation: the same seed must produce the
+   same result record, field for field — the regression guard for the whole
+   record/replay machinery underneath (any hidden nondeterminism in the
+   scheduler, RNG plumbing or fault injection shows up here first). *)
+let test_determinism () =
+  let run () = E_soak.run ~seed:77 ~clients:3 ~per_client:4 ~drop:0.1 () in
+  let r1 = run () and r2 = run () in
+  Alcotest.(check bool) "identical result records" true (r1 = r2);
+  let c1 = E_soak.run_chain ~seed:78 () and c2 = E_soak.run_chain ~seed:78 () in
+  Alcotest.(check bool) "identical chain result records" true (c1 = c2)
 
 let () =
   Alcotest.run "rrq-soak"
     [
       ( "soak",
         [
-          Alcotest.test_case "request soak (3 seeds)" `Quick test_request_soak;
-          Alcotest.test_case "chain soak (2 seeds)" `Quick test_chain_soak;
+          Alcotest.test_case "request soak (seed 101)" `Quick
+            (request_soak [ 101 ]);
+          Alcotest.test_case "chain soak (seed 201)" `Quick (chain_soak [ 201 ]);
+          Alcotest.test_case "same seed, same record" `Quick test_determinism;
+          Alcotest.test_case "request soak (extended seeds)" `Slow
+            (request_soak [ 102; 103 ]);
+          Alcotest.test_case "chain soak (extended seeds)" `Slow
+            (chain_soak [ 202 ]);
         ] );
     ]
