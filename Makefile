@@ -1,6 +1,6 @@
 # Convenience targets; dune does the real work. See doc/CI.md.
 
-.PHONY: all build test quick-test check sim bench clean
+.PHONY: all build test quick-test lint check sim bench clean
 
 all: build
 
@@ -13,13 +13,18 @@ test: build
 quick-test:
 	ALCOTEST_QUICK_TESTS=1 dune runtest
 
+# The static analyzer alone (also runs as part of `dune runtest`).
+# `--json` output: dune exec bin/rrq_lint.exe -- --json --baseline lint.baseline lib
+lint:
+	dune exec bin/rrq_lint.exe -- --baseline lint.baseline lib
+
 # The simulation tester alone: explored schedules + crash-site sweep.
 sim:
 	dune exec bin/rrq_demo.exe -- check --budget 25
 	dune exec bin/rrq_demo.exe -- check --sites
 
-# The CI gate: build, full tests, simulation-tester smoke.
-check: build test sim
+# The CI gate: build, lint, full tests, simulation-tester smoke.
+check: build lint test sim
 
 bench:
 	dune exec bench/main.exe

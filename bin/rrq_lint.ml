@@ -1,0 +1,63 @@
+(* rrq_lint: the repo's own static analyzer. See doc/INTERNALS.md for the
+   rule set and the suppression-baseline policy, and doc/CI.md for how the
+   lint stage gates the build (it also runs under `dune runtest` via the
+   root dune rule). *)
+
+module Driver = Rrq_lint.Driver
+module Rules = Rrq_lint.Rules
+
+let usage () =
+  print_string
+    "usage: rrq_lint [--json] [--baseline FILE] [--list-rules] [PATH...]\n\n\
+     Static analysis for transaction, durability and determinism\n\
+     discipline. PATHs (default: lib) are .ml/.mli files or directories\n\
+     walked recursively. Exit status is 0 iff no finding survives the\n\
+     baseline and no baseline entry is stale.\n\n\
+     --json           machine-readable report on stdout\n\
+     --baseline FILE  suppression baseline (entries: `RULE path item  # why')\n\
+     --list-rules     print the rule set and exit\n"
+
+let list_rules () =
+  List.iter
+    (fun (id, slug, descr) -> Printf.printf "%s %-20s %s\n" id slug descr)
+    Rules.all
+
+let () =
+  let json = ref false in
+  let baseline = ref None in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest ->
+      json := true;
+      parse rest
+    | "--baseline" :: file :: rest ->
+      baseline := Some file;
+      parse rest
+    | "--baseline" :: [] ->
+      prerr_endline "rrq_lint: --baseline needs a file";
+      exit 2
+    | ("--help" | "-h") :: _ ->
+      usage ();
+      exit 0
+    | "--list-rules" :: _ ->
+      list_rules ();
+      exit 0
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+      Printf.eprintf "rrq_lint: unknown option %s\n" arg;
+      exit 2
+    | path :: rest ->
+      paths := path :: !paths;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let paths = if !paths = [] then [ "lib" ] else List.rev !paths in
+  let baseline =
+    match !baseline with
+    | None -> []
+    | Some file -> Driver.load_baseline file
+  in
+  let result = Driver.run ~baseline paths in
+  print_string
+    (if !json then Driver.render_json result else Driver.render_text result);
+  exit (if Driver.ok result then 0 else 1)

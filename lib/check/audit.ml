@@ -42,7 +42,7 @@ let run auditors =
       match a.check () with
       | None -> None
       | Some detail -> Some { auditor = a.name; detail }
-      | exception e ->
+      | exception e when Rrq_util.Swallow.nonfatal e ->
         Some { auditor = a.name; detail = "auditor raised: " ^ Printexc.to_string e })
     auditors
 

@@ -158,12 +158,13 @@ let run_quickstart ?armed ?policy (plan : Plan.t) =
                   (Sched.now s +. recover_after)
                   (fun () -> Net.restart node);
                 (* If the site was reached from one of the node's own fibers,
-                   that fiber died mid-instruction: park it forever (it is
-                   already marked dead; the continuation is dropped). *)
+                   that fiber died mid-instruction: unwind it with [Crash]
+                   (the scheduler counts that as a kill, and no
+                   Swallow-disciplined handler may eat it — rrq_lint R1). *)
                 if
                   Sched.in_fiber ()
                   && Sched.fiber_group (Sched.self ()) = Some (Net.node_name node)
-                then Sched.suspend (fun _ _ -> ())));
+                then Crashpoint.crash ()));
           fun () ->
             for c = 0 to quickstart_clients - 1 do
               ignore
@@ -278,7 +279,7 @@ let run_buggy ?policy (plan : Plan.t) =
                             priority = 0;
                             body = Envelope.to_string env;
                           }))
-                with _ -> ()
+                with e when Rrq_util.Swallow.nonfatal e -> ()
               in
               blind_send ();
               let deadline = Sched.clock () +. 12.0 in
@@ -297,7 +298,7 @@ let run_buggy ?policy (plan : Plan.t) =
                   with
                   | Site.R_element (Some _) -> true
                   | _ -> false
-                  | exception _ -> false
+                  | exception e when Rrq_util.Swallow.nonfatal e -> false
                 in
                 if got then incr replies
                 else if Sched.clock () < deadline then begin

@@ -29,7 +29,8 @@ let start site ~local_queue ~dst ~remote_queue ?(retry_every = 1.0) () =
               (* Remote unreachable (or conflict): the element went back to
                  the local queue; wait out the partition. *)
               Sched.sleep_background retry_every
-            | exception _ -> Sched.sleep_background retry_every);
+            | exception e when Rrq_util.Swallow.nonfatal e ->
+              Sched.sleep_background retry_every);
             loop ()
           in
           loop ()))

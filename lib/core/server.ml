@@ -45,7 +45,7 @@ let process_one site ~req_queue ~registrant ?filter ~wait handler =
   with
   | outcome -> outcome
   | exception Site.Aborted _ -> `Aborted
-  | exception _ ->
+  | exception e when Rrq_util.Swallow.nonfatal e ->
     (* Poisonous request (e.g. undecodable payload): the abort already
        returned it; the retry limit will shunt it to the error queue. *)
     `Aborted
@@ -83,7 +83,7 @@ let process_one_set site ~req_queues ~registrant ?filter ~wait handler =
   with
   | outcome -> outcome
   | exception Site.Aborted _ -> `Aborted
-  | exception _ -> `Aborted
+  | exception e when Rrq_util.Swallow.nonfatal e -> `Aborted
 
 let serve t site ~req_queue ?filter ~registrant handler () =
   let rec loop () =

@@ -362,7 +362,8 @@ let one_burst_run ~queued ~offered ~service_time ~capacity ~seed =
                    | B_ok -> ()
                    | B_busy -> incr rejected
                    | _ -> incr rejected
-                   | exception _ -> incr rejected
+                   | exception e when Rrq_util.Swallow.nonfatal e ->
+                     incr rejected
                  end))
         done;
         ignore

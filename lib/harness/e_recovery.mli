@@ -6,7 +6,10 @@ type row = {
   ops : int;
   checkpoint_every : int option;
   log_bytes : int;
-  recovery_seconds : float;  (** Host CPU time to re-open after a crash. *)
+  recovery_seconds : float;
+      (** Virtual seconds to re-open after a crash, under the deterministic
+          replay-cost model (live log scanned at a fixed device rate) — a
+          pure function of the workload, so the B7 table is replayable. *)
   recovered_elements : int;
 }
 

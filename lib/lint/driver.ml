@@ -1,0 +1,208 @@
+(* File discovery, parsing, baseline application and reporting — everything
+   around the rules themselves. Kept free of process concerns (no exit, no
+   argv) so the test suite can drive each stage on in-memory fixtures; the
+   CLI in bin/rrq_lint.ml is a thin wrapper. *)
+
+module F = Finding
+
+(* ---- collection ------------------------------------------------------- *)
+
+let normalize path =
+  if String.starts_with ~prefix:"./" path then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+let is_source f =
+  Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli"
+
+let rec collect acc path =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if String.length entry > 0 && entry.[0] = '_' then acc
+        else if String.length entry > 0 && entry.[0] = '.' then acc
+        else collect acc (Filename.concat path entry))
+      acc
+      (let entries = Sys.readdir path in
+       Array.sort String.compare entries;
+       entries)
+  else if is_source path then path :: acc
+  else acc
+
+let collect_files paths =
+  List.rev (List.fold_left (fun acc p -> collect acc (normalize p)) [] paths)
+
+(* ---- parsing and per-file checking ------------------------------------ *)
+
+let parse_error ~file ~line message =
+  {
+    F.rule = "P0";
+    rule_name = "parse";
+    severity = F.Error;
+    file;
+    line;
+    col = 0;
+    item = "";
+    message;
+    hint = "the linter parses with the toolchain's own grammar; if dune \
+            builds this file, this is an rrq_lint bug";
+  }
+
+(* Only implementations are parsed: every AST rule reasons about executable
+   code, and R6 needs just the file listing. *)
+let lint_source ~file source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  match Parse.implementation lexbuf with
+  | str -> Rules.check_structure ~file str
+  | exception Syntaxerr.Error _ ->
+    [ parse_error ~file ~line:lexbuf.Lexing.lex_curr_p.Lexing.pos_lnum
+        "syntax error" ]
+  | exception Lexer.Error (_, loc) ->
+    [ parse_error ~file ~line:loc.Location.loc_start.Lexing.pos_lnum
+        "lexical error" ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ---- suppression baseline --------------------------------------------- *)
+
+type baseline_entry = {
+  b_rule : string;
+  b_file : string;
+  b_item : string;
+  b_line : int;  (* line in the baseline file, for stale-entry messages *)
+}
+
+let entry_to_string e =
+  Printf.sprintf "%s %s %s (baseline line %d)" e.b_rule e.b_file e.b_item
+    e.b_line
+
+let parse_baseline source =
+  let entries = ref [] in
+  List.iteri
+    (fun i line ->
+      let line =
+        match String.index_opt line '#' with
+        | Some j -> String.sub line 0 j
+        | None -> line
+      in
+      match
+        String.split_on_char ' ' line
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun s -> s <> "")
+      with
+      | [] -> ()
+      | [ rule; file; item ] ->
+        entries :=
+          { b_rule = rule; b_file = normalize file; b_item = item;
+            b_line = i + 1 }
+          :: !entries
+      | _ ->
+        failwith
+          (Printf.sprintf
+             "baseline line %d: expected `RULE path item  # rationale'"
+             (i + 1)))
+    (String.split_on_char '\n' source);
+  List.rev !entries
+
+let load_baseline path = parse_baseline (read_file path)
+
+(* Every baseline entry must still match something: a stale entry means the
+   violation it documented is gone, and the documentation must go with it. *)
+let apply_baseline entries findings =
+  let matches e f =
+    e.b_rule = f.F.rule && e.b_file = f.F.file && e.b_item = f.F.item
+  in
+  let kept, suppressed =
+    List.partition
+      (fun f -> not (List.exists (fun e -> matches e f) entries))
+      findings
+  in
+  let stale =
+    List.filter
+      (fun e -> not (List.exists (fun f -> matches e f) findings))
+      entries
+  in
+  (kept, List.length suppressed, stale)
+
+(* ---- the full run ----------------------------------------------------- *)
+
+type result = {
+  files : int;
+  findings : F.t list;  (* after suppression, sorted *)
+  suppressed : int;
+  stale : baseline_entry list;
+}
+
+let ok r = r.findings = [] && r.stale = []
+
+let run ?(baseline = []) paths =
+  let files = collect_files paths in
+  let ast_findings =
+    List.concat_map
+      (fun f ->
+        if Filename.check_suffix f ".ml" then lint_source ~file:f (read_file f)
+        else [])
+      files
+  in
+  let findings = ast_findings @ Rules.interface_coverage ~files in
+  let kept, suppressed, stale = apply_baseline baseline findings in
+  {
+    files = List.length files;
+    findings = List.sort F.compare kept;
+    suppressed;
+    stale;
+  }
+
+(* ---- reporting -------------------------------------------------------- *)
+
+let render_text r =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun f ->
+      Buffer.add_string b (F.to_text f);
+      Buffer.add_char b '\n')
+    r.findings;
+  List.iter
+    (fun e ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "stale baseline entry: %s no longer matches any finding — remove \
+            it\n"
+           (entry_to_string e)))
+    r.stale;
+  Buffer.add_string b
+    (Printf.sprintf "rrq_lint: %d file%s, %d finding%s, %d suppressed%s\n"
+       r.files
+       (if r.files = 1 then "" else "s")
+       (List.length r.findings)
+       (if List.length r.findings = 1 then "" else "s")
+       r.suppressed
+       (if ok r then " — clean" else ""));
+  Buffer.contents b
+
+let render_json r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"findings\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (F.to_json f))
+    r.findings;
+  Buffer.add_string b "],\"stale_baseline\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"rule\":\"%s\",\"file\":\"%s\",\"item\":\"%s\"}"
+           (F.json_escape e.b_rule) (F.json_escape e.b_file)
+           (F.json_escape e.b_item)))
+    r.stale;
+  Buffer.add_string b
+    (Printf.sprintf "],\"files\":%d,\"suppressed\":%d,\"ok\":%b}\n" r.files
+       r.suppressed (ok r));
+  Buffer.contents b

@@ -1,0 +1,62 @@
+(** Everything around the rules: file discovery, parsing, the suppression
+    baseline, and rendering. Process-free (no exit, no argv) so tests can
+    drive each stage on in-memory fixtures; bin/rrq_lint.ml is the thin
+    CLI over this. *)
+
+val collect_files : string list -> string list
+(** Expand paths: directories are walked recursively ([_build], [_opam]
+    and dotted entries skipped), files kept if [.ml]/[.mli]. Leading
+    [./] is stripped so finding paths match baseline paths. *)
+
+val lint_source : file:string -> string -> Finding.t list
+(** Parse one implementation source (given as a string) and run the AST
+    rules (R1–R5). Unparseable input yields a single [P0 parse] finding.
+    [file] is used for finding locations and R3's layer placement. *)
+
+(** {1 Suppression baseline}
+
+    A baseline file documents the {e intentional} violations: one entry
+    per line, [RULE path item], where [item] is the enclosing top-level
+    binding from the finding — stable across reformatting. Everything
+    after [#] is the mandatory human rationale. Entries that no longer
+    match any finding are {e stale} and fail the run: the documentation
+    must be removed together with the violation it excused. *)
+
+type baseline_entry = {
+  b_rule : string;
+  b_file : string;
+  b_item : string;
+  b_line : int;
+}
+
+val parse_baseline : string -> baseline_entry list
+(** Parse baseline text. @raise Failure on a malformed line. *)
+
+val load_baseline : string -> baseline_entry list
+(** [parse_baseline] over a file's contents. *)
+
+val apply_baseline :
+  baseline_entry list ->
+  Finding.t list ->
+  Finding.t list * int * baseline_entry list
+(** [(kept, suppressed_count, stale_entries)]. *)
+
+(** {1 Full runs} *)
+
+type result = {
+  files : int;
+  findings : Finding.t list;  (** after suppression, sorted by location *)
+  suppressed : int;
+  stale : baseline_entry list;
+}
+
+val ok : result -> bool
+(** No findings and no stale baseline entries. *)
+
+val run : ?baseline:baseline_entry list -> string list -> result
+(** Collect, read, parse and check every source under the given paths;
+    [.ml] files get the AST rules, and the whole listing gets R6
+    (interface coverage). *)
+
+val render_text : result -> string
+val render_json : result -> string

@@ -1,0 +1,58 @@
+type severity = Error | Warning
+
+type t = {
+  rule : string;
+  rule_name : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  item : string;
+  message : string;
+  hint : string;
+}
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let to_text f =
+  let where =
+    if f.item = "" then "" else Printf.sprintf " (in `%s')" f.item
+  in
+  Printf.sprintf "%s:%d:%d: [%s %s]%s %s\n    hint: %s" f.file f.line f.col
+    f.rule f.rule_name where f.message f.hint
+
+(* Minimal JSON: every field is a string or an int, so escaping the usual
+   control characters is enough. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json f =
+  Printf.sprintf
+    "{\"rule\":\"%s\",\"name\":\"%s\",\"severity\":\"%s\",\"file\":\"%s\",\
+     \"line\":%d,\"col\":%d,\"item\":\"%s\",\"message\":\"%s\",\"hint\":\"%s\"}"
+    (json_escape f.rule) (json_escape f.rule_name)
+    (severity_to_string f.severity)
+    (json_escape f.file) f.line f.col (json_escape f.item)
+    (json_escape f.message) (json_escape f.hint)

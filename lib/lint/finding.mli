@@ -1,0 +1,33 @@
+(** One diagnostic produced by an [rrq_lint] rule. *)
+
+type severity = Error | Warning
+
+type t = {
+  rule : string;  (** Stable rule id, e.g. ["R1"]. *)
+  rule_name : string;  (** Short slug, e.g. ["exn-swallow"]. *)
+  severity : severity;
+  file : string;  (** Path as given on the command line. *)
+  line : int;  (** 1-based. *)
+  col : int;  (** 0-based, as the compiler reports. *)
+  item : string;
+      (** Name of the enclosing top-level binding ([""] if none) — the
+          stable coordinate the suppression baseline matches on, so
+          baselines survive reformatting. *)
+  message : string;
+  hint : string;  (** How to fix (or legitimately suppress) the finding. *)
+}
+
+val severity_to_string : severity -> string
+
+val compare : t -> t -> int
+(** Order by file, line, column, rule. *)
+
+val to_text : t -> string
+(** Two-line human form: location + message, then the fix hint. *)
+
+val to_json : t -> string
+(** One JSON object (machine consumption; used by [--json]). *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON literal (used by [Driver] for
+    the report envelope). *)

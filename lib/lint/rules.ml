@@ -1,0 +1,403 @@
+(* The rule set, as a single Parsetree pass (compiler-libs [Ast_iterator]).
+
+   Rules work on the *untyped* AST: they see names, not resolved paths, so
+   they match on the conventional module aliases used throughout the tree
+   ([Disk], [Wal], [Lock], [Sched], ...). That makes them linters, not
+   proofs — cheap, fast, zero-annotation — and the suppression baseline
+   (see [Driver]) is the escape hatch for the rare intentional exception.
+
+   Scoping: R4 and R5 reason per top-level value binding ("item"). The
+   iterator linearizes an item's body in source order, which approximates
+   control flow well enough for the hazards these rules target; the
+   approximations are documented per rule in doc/INTERNALS.md. *)
+
+module F = Finding
+
+let all =
+  [
+    ( "R1", "exn-swallow",
+      "no catch-all exception handlers: `try ... with _ ->' (or `| \
+       exception _ ->') can eat Crashpoint.Crash or a scheduler-fatal \
+       exception; use Rrq_util.Swallow or a `when Swallow.nonfatal e' guard"
+    );
+    ( "R2", "determinism",
+      "no ambient time, randomness or environment under lib/: Sys.time, \
+       Unix.*, Random.*, Sys.getenv break byte-identical trace replay; \
+       route time through Rrq_sim.Sched and randomness through Rrq_util.Rng"
+    );
+    ( "R3", "layering",
+      "no direct Disk mutation outside lib/storage + lib/wal, and no raw \
+       WAL/group-commit appends or Element-state writes outside the \
+       resource-manager layers (lib/wal, lib/txn, lib/qm, lib/kvdb)" );
+    ( "R4", "txn-pairing",
+      "an item that calls begin_txn must also reach both a commit and an \
+       abort (the with_txn shape): a missing abort path leaks the \
+       transaction and its locks when the body raises" );
+    ( "R5", "blocking-under-lock",
+      "no blocking primitive (Sched.yield/sleep, Cond.wait*, Chan.send/\
+       recv, Ivar.read*) after Lock.acquire and before Lock.release_all \
+       in the same item: hold-and-wait invites deadlock and stretches \
+       lock hold times" );
+    ( "R6", "interface-coverage",
+      "every lib/**.ml has a sibling .mli: the public surface of each \
+       module is explicit" );
+  ]
+
+(* ---- identifier helpers ---------------------------------------------- *)
+
+let rec flatten lid =
+  match lid with
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flatten l @ [ s ]
+  | Longident.Lapply (_, l) -> flatten l
+
+let last_two comps =
+  match List.rev comps with
+  | f :: m :: _ -> (Some m, f)
+  | [ f ] -> (None, f)
+  | [] -> (None, "")
+
+(* ---- per-file context ------------------------------------------------- *)
+
+type ctx = {
+  file : string;
+  mutable item : string;
+  mutable findings : F.t list;
+  (* R4, per item *)
+  mutable begin_sites : Location.t list;
+  mutable saw_commit : bool;
+  mutable saw_abort : bool;
+  (* R5, per item *)
+  mutable lock_held : bool;
+}
+
+let emit ctx ~rule ~rule_name ~loc ~message ~hint =
+  let p = loc.Location.loc_start in
+  ctx.findings <-
+    {
+      F.rule;
+      rule_name;
+      severity = F.Error;
+      file = ctx.file;
+      line = p.Lexing.pos_lnum;
+      col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+      item = ctx.item;
+      message;
+      hint;
+    }
+    :: ctx.findings
+
+(* ---- R1: catch-all exception handlers --------------------------------- *)
+
+let rec is_catchall p =
+  match p.Parsetree.ppat_desc with
+  | Parsetree.Ppat_any | Parsetree.Ppat_var _ -> true
+  | Parsetree.Ppat_alias (q, _) -> is_catchall q
+  | Parsetree.Ppat_or (a, b) -> is_catchall a || is_catchall b
+  | Parsetree.Ppat_constraint (q, _) -> is_catchall q
+  | _ -> false
+
+let bound_var p =
+  match p.Parsetree.ppat_desc with
+  | Parsetree.Ppat_var v -> Some v.Location.txt
+  | Parsetree.Ppat_alias (_, v) -> Some v.Location.txt
+  | _ -> None
+
+(* A handler that re-raises the exception it bound ([... ; raise e]) keeps
+   the fiber-fatal path open, so it is not a swallow. *)
+let reraises var body =
+  match var with
+  | None -> false
+  | Some v ->
+    let found = ref false in
+    let expr self e =
+      (match e.Parsetree.pexp_desc with
+      | Parsetree.Pexp_apply
+          ({ pexp_desc = Parsetree.Pexp_ident { txt = f; _ }; _ }, args) ->
+        let _, fn = last_two (flatten f) in
+        if fn = "raise" || fn = "raise_notrace" || fn = "reraise" then
+          List.iter
+            (fun (_, a) ->
+              match a.Parsetree.pexp_desc with
+              | Parsetree.Pexp_ident { txt = Longident.Lident x; _ }
+                when x = v ->
+                found := true
+              | _ -> ())
+            args
+      | _ -> ());
+      Ast_iterator.default_iterator.expr self e
+    in
+    let it = { Ast_iterator.default_iterator with expr } in
+    it.expr it body;
+    !found
+
+let r1_msg =
+  "catch-all exception handler: can swallow Crashpoint.Crash or a \
+   scheduler-fatal exception and turn an injected crash into a wrong \
+   protocol outcome"
+
+let r1_hint =
+  "match the specific exceptions, guard with `when Rrq_util.Swallow.nonfatal \
+   e', or use Rrq_util.Swallow.run ~default"
+
+let check_handler ctx pat guard body =
+  if is_catchall pat && guard = None && not (reraises (bound_var pat) body)
+  then
+    emit ctx ~rule:"R1" ~rule_name:"exn-swallow" ~loc:pat.Parsetree.ppat_loc
+      ~message:r1_msg ~hint:r1_hint
+
+let r1_case ctx (c : Parsetree.case) =
+  check_handler ctx c.pc_lhs c.pc_guard c.pc_rhs
+
+let r1_exception_case ctx (c : Parsetree.case) =
+  match c.pc_lhs.Parsetree.ppat_desc with
+  | Parsetree.Ppat_exception inner -> check_handler ctx inner c.pc_guard c.pc_rhs
+  | _ -> ()
+
+(* ---- R2: determinism -------------------------------------------------- *)
+
+let r2_hint =
+  "route time through Rrq_sim.Sched.clock (or an injected clock) and \
+   randomness through Rrq_util.Rng; configuration comes in through \
+   constructor arguments, not the environment"
+
+let r2_check ctx loc comps =
+  let has m = List.mem m comps in
+  let m2, f = last_two comps in
+  let bad what =
+    emit ctx ~rule:"R2" ~rule_name:"determinism" ~loc
+      ~message:(what ^ " breaks deterministic, replayable simulation")
+      ~hint:r2_hint
+  in
+  if has "Unix" then bad "Unix.* (wall clock / ambient syscalls)"
+  else if has "Random" then bad "stdlib Random (ambient randomness)"
+  else if m2 = Some "Sys" && f = "time" then bad "Sys.time (host CPU clock)"
+  else if m2 = Some "Sys" && (f = "getenv" || f = "getenv_opt") then
+    bad "Sys.getenv (ambient environment)"
+
+(* ---- R3: layering ----------------------------------------------------- *)
+
+type layer = {
+  l_mod : string;
+  l_funcs : string list;
+  l_allowed : string list;
+  l_what : string;
+  l_hint : string;
+}
+
+let rm_dirs = [ "lib/wal/"; "lib/txn/"; "lib/qm/"; "lib/kvdb/" ]
+
+let layers =
+  [
+    {
+      l_mod = "Disk";
+      l_funcs =
+        [ "open_file"; "append"; "sync"; "sync_all"; "replace_atomic"; "delete" ];
+      l_allowed = [ "lib/storage/"; "lib/wal/" ];
+      l_what = "direct disk mutation";
+      l_hint =
+        "stable storage is written only through the WAL (lib/wal) so every \
+         update is logged, checksummed and recoverable; call the Wal/Qm/Kvdb \
+         layer instead";
+    };
+    {
+      l_mod = "Wal";
+      l_funcs = [ "append"; "append_sync"; "sync"; "checkpoint" ];
+      l_allowed = rm_dirs;
+      l_what = "raw WAL mutation";
+      l_hint =
+        "log records are owned by the resource managers (TM/RM/QM/KVDB \
+         deferred-update path); higher layers express updates as \
+         transactions";
+    };
+    {
+      l_mod = "Group_commit";
+      l_funcs = [ "append"; "append_force"; "force" ];
+      l_allowed = rm_dirs;
+      l_what = "raw group-commit append/force";
+      l_hint =
+        "log records are owned by the resource managers (TM/RM/QM/KVDB \
+         deferred-update path); higher layers express updates as \
+         transactions";
+    };
+  ]
+
+let under prefixes file = List.exists (fun p -> String.starts_with ~prefix:p file) prefixes
+
+let r3_check_ident ctx loc comps =
+  let m2, f = last_two comps in
+  match m2 with
+  | None -> ()
+  | Some m ->
+    List.iter
+      (fun l ->
+        if l.l_mod = m && List.mem f l.l_funcs && not (under l.l_allowed ctx.file)
+        then
+          emit ctx ~rule:"R3" ~rule_name:"layering" ~loc
+            ~message:
+              (Printf.sprintf "%s (%s.%s) outside %s" l.l_what m f
+                 (String.concat ", " l.l_allowed))
+            ~hint:l.l_hint)
+      layers
+
+(* Qm state is also mutated by writing [Element] record fields directly
+   (status, tries, ...); outside lib/qm that bypasses the deferred-update
+   path entirely. *)
+let r3_check_setfield ctx loc lid =
+  let comps = flatten lid in
+  if List.mem "Element" comps && not (under [ "lib/qm/" ] ctx.file) then
+    emit ctx ~rule:"R3" ~rule_name:"layering" ~loc
+      ~message:"direct Element state mutation outside lib/qm"
+      ~hint:
+        "queue-element state changes only via the QM's transactional \
+         operations (enqueue/dequeue/kill), which log them for recovery"
+
+(* ---- R4: txn pairing -------------------------------------------------- *)
+
+let commit_names = [ "commit"; "auto_commit" ]
+let abort_names = [ "abort"; "force_abort" ]
+
+let r4_check_ident ctx loc comps =
+  let _, f = last_two comps in
+  if f = "begin_txn" then ctx.begin_sites <- loc :: ctx.begin_sites;
+  if List.mem f commit_names then ctx.saw_commit <- true;
+  if List.mem f abort_names then ctx.saw_abort <- true
+
+let r4_finalize ctx =
+  if ctx.begin_sites <> [] && not (ctx.saw_commit && ctx.saw_abort) then
+    List.iter
+      (fun loc ->
+        emit ctx ~rule:"R4" ~rule_name:"txn-pairing" ~loc
+          ~message:
+            (Printf.sprintf
+               "begin_txn without %s in the same item: the transaction (and \
+                its locks) leaks on the missing path"
+               (if ctx.saw_commit then "an abort path"
+                else if ctx.saw_abort then "a commit path"
+                else "commit/abort"))
+          ~hint:
+            "pair begin_txn with commit on the success path and abort on the \
+             exception path (the Site.with_txn shape), or hand the open \
+             handle to a helper that does")
+      (List.rev ctx.begin_sites)
+
+(* ---- R5: blocking under lock ------------------------------------------ *)
+
+let blocking =
+  [
+    ("Sched", [ "yield"; "sleep"; "sleep_background"; "suspend" ]);
+    ("Cond", [ "wait"; "wait_timeout"; "wait_any" ]);
+    ("Chan", [ "send"; "recv"; "recv_timeout" ]);
+    ("Ivar", [ "read"; "read_timeout" ]);
+  ]
+
+let r5_check_ident ctx loc comps =
+  let m2, f = last_two comps in
+  match m2 with
+  | None -> ()
+  | Some m ->
+    if m = "Lock" && (f = "acquire" || f = "try_acquire") then
+      ctx.lock_held <- true
+    else if m = "Lock" && f = "release_all" then ctx.lock_held <- false
+    else if
+      ctx.lock_held
+      && List.exists (fun (bm, fs) -> bm = m && List.mem f fs) blocking
+    then
+      emit ctx ~rule:"R5" ~rule_name:"blocking-under-lock" ~loc
+        ~message:
+          (Printf.sprintf
+             "%s.%s while a Lock acquired earlier in this item may still be \
+              held"
+             m f)
+        ~hint:
+          "release (or do not yet acquire) the lock around the blocking \
+           call; if the hold-and-wait is the design (e.g. strict-FIFO \
+           dequeue), document it in the suppression baseline"
+
+(* ---- the pass --------------------------------------------------------- *)
+
+let check_ident ctx loc lid =
+  let comps = flatten lid in
+  r2_check ctx loc comps;
+  r3_check_ident ctx loc comps;
+  r4_check_ident ctx loc comps;
+  r5_check_ident ctx loc comps
+
+let reset_item ctx name =
+  ctx.item <- name;
+  ctx.begin_sites <- [];
+  ctx.saw_commit <- false;
+  ctx.saw_abort <- false;
+  ctx.lock_held <- false
+
+let make_iterator ctx =
+  let super = Ast_iterator.default_iterator in
+  let expr self e =
+    (match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_ident { txt; _ } -> check_ident ctx e.Parsetree.pexp_loc txt
+    | Parsetree.Pexp_try (_, cases) -> List.iter (r1_case ctx) cases
+    | Parsetree.Pexp_match (_, cases) -> List.iter (r1_exception_case ctx) cases
+    | Parsetree.Pexp_setfield (_, lid, _) ->
+      r3_check_setfield ctx e.Parsetree.pexp_loc lid.Location.txt
+    | _ -> ());
+    super.expr self e
+  in
+  let structure_item self si =
+    match si.Parsetree.pstr_desc with
+    | Parsetree.Pstr_value (_, vbs) ->
+      List.iter
+        (fun vb ->
+          let name =
+            match bound_var vb.Parsetree.pvb_pat with
+            | Some n -> n
+            | None -> "_"
+          in
+          reset_item ctx name;
+          self.Ast_iterator.expr self vb.Parsetree.pvb_expr;
+          r4_finalize ctx;
+          reset_item ctx "")
+        vbs
+    | _ -> super.structure_item self si
+  in
+  { super with expr; structure_item }
+
+let check_structure ~file str =
+  let ctx =
+    {
+      file;
+      item = "";
+      findings = [];
+      begin_sites = [];
+      saw_commit = false;
+      saw_abort = false;
+      lock_held = false;
+    }
+  in
+  let it = make_iterator ctx in
+  it.Ast_iterator.structure it str;
+  List.sort F.compare ctx.findings
+
+(* ---- R6: interface coverage (file-level, no parsing needed) ------------ *)
+
+let interface_coverage ~files =
+  let set = Hashtbl.create 64 in
+  List.iter (fun f -> Hashtbl.replace set f ()) files;
+  List.filter_map
+    (fun f ->
+      if Filename.check_suffix f ".ml" && not (Hashtbl.mem set (f ^ "i")) then
+        Some
+          {
+            F.rule = "R6";
+            rule_name = "interface-coverage";
+            severity = F.Error;
+            file = f;
+            line = 1;
+            col = 0;
+            item = "";
+            message = "implementation without a sibling .mli interface";
+            hint =
+              "write the .mli: the module's public surface must be explicit \
+               (abstract types, documented vals), everything else private";
+          }
+      else None)
+    (List.sort String.compare files)

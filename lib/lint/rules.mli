@@ -1,0 +1,19 @@
+(** The [rrq_lint] rule set: one untyped-AST pass over a parsed
+    implementation, plus the file-level interface-coverage rule.
+
+    Rules match on the conventional module aliases of this tree ([Disk],
+    [Wal], [Lock], [Sched], ...) — they are linters over names, not typed
+    proofs. Per-rule rationale, the exact approximations, and the
+    suppression policy are documented in doc/INTERNALS.md. *)
+
+val all : (string * string * string) list
+(** [(id, slug, description)] for every rule, R1..R6, in order. *)
+
+val check_structure : file:string -> Parsetree.structure -> Finding.t list
+(** Run R1–R5 over one parsed implementation. [file] is the path used in
+    findings and in R3's layer checks (so fixture files can place
+    themselves in an arbitrary layer). Sorted by location. *)
+
+val interface_coverage : files:string list -> Finding.t list
+(** R6 over a file listing: every [*.ml] must have a sibling [*.mli] in the
+    same listing. Pure — pass the files actually collected. *)

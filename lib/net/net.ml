@@ -122,9 +122,13 @@ let run_service dst ~service ~request reply_k =
          ~name:(dst.nname ^ ":" ^ service)
          (fun () ->
            let reply =
+             (* Nonfatal only: an injected crash inside a handler must kill
+                this service fiber, not surface as an error reply sent from
+                a node that is supposed to be down. *)
              match handler request with
              | v -> Ok_reply v
-             | exception e -> Err_reply (Printexc.to_string e)
+             | exception e when Rrq_util.Swallow.nonfatal e ->
+               Err_reply (Printexc.to_string e)
            in
            reply_k reply))
 

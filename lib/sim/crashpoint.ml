@@ -10,6 +10,17 @@
    run one at a time, and threading a registry handle through every library
    layer would put test plumbing in every signature. *)
 
+exception Crash
+
+(* A swallowed [Crash] is a simulation-correctness bug: a fiber that was
+   supposed to die mid-protocol would keep running and could acknowledge
+   never-durable effects. Register it as fatal so [Rrq_util.Swallow]-based
+   tolerance (and the [when Swallow.nonfatal e] guards that rrq_lint's R1
+   pushes code toward) can never eat it. *)
+let () = Rrq_util.Swallow.register_fatal (function Crash -> true | _ -> false)
+
+let crash () = raise Crash
+
 type armed = { a_site : string; a_hit : int; a_action : unit -> unit }
 
 let on = ref false

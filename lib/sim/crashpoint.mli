@@ -12,6 +12,19 @@
     sweep, [reach] is a single branch on a false flag. Scenarios under the
     deterministic scheduler run one at a time, so global state is safe. *)
 
+exception Crash
+(** Raised by crash actions (via {!crash}) to unwind the fiber that reached
+    the armed site, instead of letting it run on to its next suspension
+    point with a dead disk. The scheduler treats a fiber that dies with
+    [Crash] as killed, not as failed ({!Sched.failures} stays empty), and
+    [Rrq_util.Swallow] treats it as fatal, so no [Swallow]-disciplined
+    handler can convert an injected crash into a wrong protocol outcome
+    (rrq_lint rule R1 forbids the undisciplined handlers that could). *)
+
+val crash : unit -> 'a
+(** [raise Crash], for use at the end of an armed crash action that runs in
+    the reaching fiber (freeze durability first, e.g. [Disk.kill_now]). *)
+
 val reach : string -> unit
 (** Mark that execution passed the named crash site. No-op unless the
     registry is enabled; when enabled, counts the hit and fires the armed

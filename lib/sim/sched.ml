@@ -323,7 +323,11 @@ and start t fib body =
       exnc =
         (fun e ->
           fib.live <- false;
-          t.errors <- (fib.name, e) :: t.errors);
+          (* An injected crash is a kill, not a program failure: the fiber
+             unwound exactly as a crashed process disappears. *)
+          match e with
+          | Crashpoint.Crash -> ()
+          | e -> t.errors <- (fib.name, e) :: t.errors);
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with

@@ -1,4 +1,5 @@
 module Codec = Rrq_util.Codec
+module Swallow = Rrq_util.Swallow
 module Wal = Rrq_wal.Wal
 module Group_commit = Rrq_wal.Group_commit
 module Sched = Rrq_sim.Sched
@@ -123,7 +124,7 @@ let join txn p =
   | Finished Aborted ->
     (* Force-aborted under the owner's feet: undo whatever the owner did at
        this RM after the abort, so nothing leaks. *)
-    (try p.p_abort txn.id with _ -> ())
+    Swallow.unit (fun () -> p.p_abort txn.id)
   | Finished Committed -> invalid_arg "Tm.join: transaction already committed"
   | Active ->
     if not (List.exists (fun q -> q.part_name = p.part_name) txn.participants)
@@ -158,7 +159,7 @@ let redeliver t id resolve =
           (fun pname ->
             match resolve pname with
             | None -> true
-            | Some p -> not (try p.p_commit id with _ -> false))
+            | Some p -> not (Swallow.run ~default:false (fun () -> p.p_commit id)))
           !remaining;
       if !remaining = [] then log_end t id
       else begin
@@ -170,7 +171,7 @@ let redeliver t id resolve =
 
 let deliver_commits t id parts =
   let unacked =
-    List.filter (fun p -> not (try p.p_commit id with _ -> false)) parts
+    List.filter (fun p -> not (Swallow.run ~default:false (fun () -> p.p_commit id))) parts
   in
   if unacked = [] then log_end t id
   else begin
@@ -193,7 +194,7 @@ let commit t txn =
     (* Force-aborted earlier: re-notify so locks or buffers acquired since
        the abort are cleaned up (participant aborts are idempotent). *)
     List.iter
-      (fun p -> try p.p_abort txn.id with _ -> ())
+      (fun p -> Swallow.unit (fun () -> p.p_abort txn.id))
       (List.rev txn.participants);
     Aborted
   | Finished Committed -> Committed
@@ -203,24 +204,24 @@ let commit t txn =
        notice, which merely releases their read locks. *)
     let parts, workless =
       List.partition
-        (fun p -> try p.p_has_work txn.id with _ -> true)
+        (fun p -> Swallow.run ~default:true (fun () -> p.p_has_work txn.id))
         (List.rev txn.participants)
     in
-    List.iter (fun p -> try p.p_abort txn.id with _ -> ()) workless;
+    List.iter (fun p -> Swallow.unit (fun () -> p.p_abort txn.id)) workless;
     match parts with
     | [] ->
       t.n_committed <- t.n_committed + 1;
       finish txn Committed;
       Committed
     | [ p ] when p.p_is_local ->
-      if try p.p_one_phase txn.id with _ -> false then begin
+      if Swallow.run ~default:false (fun () -> p.p_one_phase txn.id) then begin
         t.n_committed <- t.n_committed + 1;
         finish txn Committed;
         Committed
       end
       else begin
         t.n_aborted <- t.n_aborted + 1;
-        (try p.p_abort txn.id with _ -> ());
+        Swallow.unit (fun () -> p.p_abort txn.id);
         finish txn Aborted;
         Aborted
       end
@@ -229,12 +230,13 @@ let commit t txn =
       let all_yes =
         List.for_all
           (fun p ->
-            try p.p_prepare txn.id ~coordinator:t.tm_name with _ -> false)
+            Swallow.run ~default:false (fun () ->
+                p.p_prepare txn.id ~coordinator:t.tm_name))
           parts
       in
       if not all_yes then begin
         Hashtbl.remove t.deciding txn.id;
-        List.iter (fun p -> try p.p_abort txn.id with _ -> ()) parts;
+        List.iter (fun p -> Swallow.unit (fun () -> p.p_abort txn.id)) parts;
         t.n_aborted <- t.n_aborted + 1;
         finish txn Aborted;
         Aborted
@@ -263,7 +265,7 @@ let abort t txn =
   | Finished _ -> ()
   | Active ->
     Hashtbl.remove t.live txn.id;
-    List.iter (fun p -> try p.p_abort txn.id with _ -> ()) (List.rev txn.participants);
+    List.iter (fun p -> Swallow.unit (fun () -> p.p_abort txn.id)) (List.rev txn.participants);
     t.n_aborted <- t.n_aborted + 1;
     finish txn Aborted
 

@@ -1,0 +1,28 @@
+(* Disciplined exception tolerance. A bare [try ... with _ ->] can eat an
+   injected crash ([Rrq_sim.Crashpoint.Crash]) or a scheduler-fatal
+   exception and silently turn a simulated node failure into a wrong
+   protocol outcome (a vote, an ack, a retry) — the exact bug class rule R1
+   of [rrq_lint] forbids. Code that genuinely wants to tolerate a failing
+   callee (participant RPCs, best-effort notifications) goes through [run],
+   which re-raises anything fatal.
+
+   Fatality is an open predicate: [rrq_util] cannot see the simulator's
+   exception constructors (the dependency points the other way), so
+   [Rrq_sim] registers its own — [Crashpoint.Crash] — at module
+   initialization via [register_fatal]. *)
+
+let extra : (exn -> bool) list ref = ref []
+
+let register_fatal p = extra := p :: !extra
+
+let fatal e =
+  match e with
+  | Assert_failure _ | Out_of_memory | Stack_overflow -> true
+  | Effect.Unhandled _ | Effect.Continuation_already_resumed -> true
+  | e -> List.exists (fun p -> p e) !extra
+
+let nonfatal e = not (fatal e)
+
+let run ~default f = try f () with e when nonfatal e -> default
+
+let unit f = run ~default:() f

@@ -1,0 +1,35 @@
+(** Disciplined exception tolerance.
+
+    The codebase forbids bare catch-all handlers ([try ... with _ ->],
+    [rrq_lint] rule R1): they can eat an injected crash
+    ([Rrq_sim.Crashpoint.Crash]) or a scheduler-fatal exception and
+    silently convert a simulated node failure into a wrong protocol
+    outcome. Call sites that want to tolerate a failing callee — a
+    participant RPC during two-phase commit, a best-effort notification —
+    use {!run} instead: nonfatal exceptions produce [default], fatal ones
+    propagate.
+
+    Fatality is an open predicate. Always fatal: [Assert_failure],
+    [Out_of_memory], [Stack_overflow], [Effect.Unhandled],
+    [Effect.Continuation_already_resumed]. Layers above [rrq_util] extend
+    the set with {!register_fatal} at module-initialization time —
+    [Rrq_sim] registers [Crashpoint.Crash] this way. *)
+
+val register_fatal : (exn -> bool) -> unit
+(** Add a fatality predicate. Predicates are consulted by {!fatal} in
+    addition to the built-in set; registering is idempotent in effect (a
+    duplicate predicate only costs a redundant check). *)
+
+val fatal : exn -> bool
+(** Whether the exception must never be swallowed. *)
+
+val nonfatal : exn -> bool
+(** [not (fatal e)] — the canonical guard for handlers that must tolerate
+    callee failure: [try f () with e when Swallow.nonfatal e -> ...]. *)
+
+val run : default:'a -> (unit -> 'a) -> 'a
+(** [run ~default f] is [f ()], except that a {e nonfatal} exception is
+    swallowed and produces [default]. Fatal exceptions propagate. *)
+
+val unit : (unit -> unit) -> unit
+(** [run ~default:()] — best-effort notification calls. *)

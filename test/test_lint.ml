@@ -1,0 +1,279 @@
+(* rrq_lint: every rule must demonstrably fire on bad input and stay silent
+   on good input, the baseline must suppress and go stale correctly, and
+   the Swallow/Crash machinery the rules push code toward must behave. The
+   lint's cleanliness on the real lib/ tree is asserted by the root dune
+   rule (part of `dune runtest`), not here — fixtures keep this suite
+   hermetic. *)
+
+module Driver = Rrq_lint.Driver
+module Rules = Rrq_lint.Rules
+module Finding = Rrq_lint.Finding
+module Swallow = Rrq_util.Swallow
+module Sched = Rrq_sim.Sched
+module Crashpoint = Rrq_sim.Crashpoint
+
+let lint ?(file = "lib/example/fixture.ml") src = Driver.lint_source ~file src
+
+let rules_of fs = List.map (fun f -> f.Finding.rule) fs
+
+let fires rule ?file src () =
+  let fs = lint ?file src in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s fires on: %s" rule src)
+    true
+    (List.mem rule (rules_of fs))
+
+let silent rule ?file src () =
+  let fs = lint ?file src in
+  Alcotest.(check (list string))
+    (Printf.sprintf "%s silent on: %s" rule src)
+    []
+    (List.filter (fun r -> r = rule) (rules_of fs))
+
+(* ---- R1: exception swallowing ----------------------------------------- *)
+
+let r1_cases =
+  [
+    ("fires: try with _", fires "R1" "let f g = try g () with _ -> 0");
+    ("fires: try with e unused", fires "R1" "let f g = try g () with e -> ignore e; 0");
+    ( "fires: catch-all among specific handlers",
+      fires "R1" "let f g = try g () with Not_found -> 1 | _ -> 0" );
+    ( "fires: match exception wildcard",
+      fires "R1" "let f g = match g () with x -> x | exception _ -> 0" );
+    ("silent: specific exception", silent "R1" "let f g = try g () with Not_found -> 0");
+    ( "silent: nonfatal guard",
+      silent "R1" "let f g = try g () with e when Swallow.nonfatal e -> 0" );
+    ( "silent: handler re-raises",
+      silent "R1" "let f g h = try g () with e -> h (); raise e" );
+    ( "silent: match exception specific",
+      silent "R1" "let f g = match g () with x -> x | exception Exit -> 0" );
+  ]
+
+(* ---- R2: determinism --------------------------------------------------- *)
+
+let r2_cases =
+  [
+    ("fires: Sys.time", fires "R2" "let t () = Sys.time ()");
+    ("fires: Unix.gettimeofday", fires "R2" "let t () = Unix.gettimeofday ()");
+    ("fires: Random.self_init", fires "R2" "let r () = Random.self_init ()");
+    ("fires: Random.int", fires "R2" "let r n = Random.int n");
+    ("fires: Sys.getenv", fires "R2" "let e () = Sys.getenv \"HOME\"");
+    ("silent: Sched.clock", silent "R2" "let t () = Sched.clock ()");
+    ("silent: Rng.int", silent "R2" "let r g n = Rng.int g n");
+    ("silent: Sys.readdir", silent "R2" "let l d = Sys.readdir d");
+  ]
+
+(* ---- R3: layering ------------------------------------------------------ *)
+
+let r3_cases =
+  [
+    ( "fires: Disk.append outside storage/wal",
+      fires "R3" ~file:"lib/core/fixture.ml" "let f d = Disk.append d \"x\"" );
+    ( "fires: Disk.replace_atomic in qm",
+      fires "R3" ~file:"lib/qm/fixture.ml"
+        "let f d = Disk.replace_atomic d \"ckpt\" \"bytes\"" );
+    ( "fires: Wal.append in core",
+      fires "R3" ~file:"lib/core/fixture.ml" "let f w = Wal.append w \"rec\"" );
+    ( "fires: Group_commit.force in harness",
+      fires "R3" ~file:"lib/harness/fixture.ml" "let f gc = Group_commit.force gc" );
+    ( "fires: Element field write outside qm",
+      fires "R3" ~file:"lib/core/fixture.ml"
+        "let f el id = el.Element.status <- Element.Deq_pending id" );
+    ( "silent: Disk.append inside wal",
+      silent "R3" ~file:"lib/wal/fixture.ml" "let f d = Disk.append d \"x\"" );
+    ( "silent: Wal.append inside txn",
+      silent "R3" ~file:"lib/txn/fixture.ml" "let f w = Wal.append w \"rec\"" );
+    ( "silent: Disk.crash anywhere (fault injection is not mutation)",
+      silent "R3" ~file:"lib/check/fixture.ml" "let f d = Disk.crash d" );
+    ( "silent: Element field write inside qm",
+      silent "R3" ~file:"lib/qm/fixture.ml"
+        "let f el id = el.Element.status <- Element.Deq_pending id" );
+  ]
+
+(* ---- R4: transaction pairing ------------------------------------------- *)
+
+let with_txn_fixture =
+  "let with_txn tm f =\n\
+  \  let txn = Tm.begin_txn tm in\n\
+  \  match f txn with\n\
+  \  | v -> ignore (Tm.commit tm txn); v\n\
+  \  | exception e -> Tm.abort tm txn; raise e"
+
+let r4_cases =
+  [
+    ( "fires: begin without commit/abort",
+      fires "R4" "let f tm = let txn = Tm.begin_txn tm in ignore txn" );
+    ( "fires: begin with commit but no abort path",
+      fires "R4"
+        "let f tm = let txn = Tm.begin_txn tm in ignore (Tm.commit tm txn)" );
+    ("silent: the with_txn shape", silent "R4" with_txn_fixture);
+    ( "silent: no begin at all",
+      silent "R4" "let f tm txn = ignore (Tm.commit tm txn)" );
+  ]
+
+(* ---- R5: blocking under lock ------------------------------------------- *)
+
+let r5_cases =
+  [
+    ( "fires: Cond.wait after acquire",
+      fires "R5" "let f l id c = Lock.acquire l id ~key:\"k\" X; Cond.wait c" );
+    ( "fires: Sched.sleep after try_acquire",
+      fires "R5"
+        "let f l id = ignore (Lock.try_acquire l id ~key:\"k\" X); Sched.sleep 1.0"
+    );
+    ( "fires: Ivar.read in nested closure after acquire",
+      fires "R5"
+        "let f l id iv = Lock.acquire l id ~key:\"k\" X;\n\
+        \  let g () = Ivar.read iv in g ()" );
+    ( "silent: blocking before acquire",
+      silent "R5" "let f l id c = Cond.wait c; Lock.acquire l id ~key:\"k\" X" );
+    ( "silent: released before blocking",
+      silent "R5"
+        "let f l id c = Lock.acquire l id ~key:\"k\" X; Lock.release_all l id;\n\
+        \  Cond.wait c" );
+    ( "silent: blocking in a different item",
+      silent "R5"
+        "let f l id = Lock.acquire l id ~key:\"k\" X\nlet g c = Cond.wait c" );
+  ]
+
+(* ---- R6: interface coverage -------------------------------------------- *)
+
+let r6_fires () =
+  let fs = Rules.interface_coverage ~files:[ "lib/a/x.ml"; "lib/a/y.ml"; "lib/a/y.mli" ] in
+  Alcotest.(check (list string)) "only x.ml flagged" [ "lib/a/x.ml" ]
+    (List.map (fun f -> f.Finding.file) fs)
+
+let r6_silent () =
+  let fs = Rules.interface_coverage ~files:[ "lib/a/x.ml"; "lib/a/x.mli" ] in
+  Alcotest.(check int) "covered pair is clean" 0 (List.length fs)
+
+(* ---- parse failures ----------------------------------------------------- *)
+
+let parse_error_reported () =
+  let fs = lint "let f = (" in
+  Alcotest.(check (list string)) "P0 parse finding" [ "P0" ] (rules_of fs)
+
+(* ---- baseline ----------------------------------------------------------- *)
+
+let baseline_text =
+  "# comment line\n\
+   R5 lib/qm/qm.ml dequeue  # strict-FIFO hold-and-wait is the design\n"
+
+let finding ~rule ~file ~item =
+  {
+    Finding.rule;
+    rule_name = "x";
+    severity = Finding.Error;
+    file;
+    line = 1;
+    col = 0;
+    item;
+    message = "m";
+    hint = "h";
+  }
+
+let baseline_suppresses () =
+  let entries = Driver.parse_baseline baseline_text in
+  let f1 = finding ~rule:"R5" ~file:"lib/qm/qm.ml" ~item:"dequeue" in
+  let f2 = finding ~rule:"R5" ~file:"lib/qm/qm.ml" ~item:"enqueue" in
+  let kept, suppressed, stale = Driver.apply_baseline entries [ f1; f2 ] in
+  Alcotest.(check int) "one kept" 1 (List.length kept);
+  Alcotest.(check string) "the unmatched one" "enqueue"
+    (List.hd kept).Finding.item;
+  Alcotest.(check int) "one suppressed" 1 suppressed;
+  Alcotest.(check int) "no stale" 0 (List.length stale)
+
+let baseline_matches_all_same_item () =
+  (* One entry covers every finding of the (rule, file, item) coordinate —
+     e.g. both Cond.wait sites inside dequeue. *)
+  let entries = Driver.parse_baseline baseline_text in
+  let f1 = finding ~rule:"R5" ~file:"lib/qm/qm.ml" ~item:"dequeue" in
+  let f2 = finding ~rule:"R5" ~file:"lib/qm/qm.ml" ~item:"dequeue" in
+  let kept, suppressed, _ = Driver.apply_baseline entries [ f1; f2 ] in
+  Alcotest.(check int) "none kept" 0 (List.length kept);
+  Alcotest.(check int) "both suppressed" 2 suppressed
+
+let baseline_goes_stale () =
+  let entries = Driver.parse_baseline baseline_text in
+  let kept, suppressed, stale = Driver.apply_baseline entries [] in
+  Alcotest.(check int) "nothing kept" 0 (List.length kept);
+  Alcotest.(check int) "nothing suppressed" 0 suppressed;
+  Alcotest.(check int) "entry is stale" 1 (List.length stale)
+
+let baseline_rejects_malformed () =
+  Alcotest.check_raises "two-field line rejected"
+    (Failure "baseline line 1: expected `RULE path item  # rationale'")
+    (fun () -> ignore (Driver.parse_baseline "R5 lib/qm/qm.ml\n"))
+
+(* ---- Swallow and Crash -------------------------------------------------- *)
+
+let swallow_tolerates_nonfatal () =
+  Alcotest.(check int) "default on Failure" 7
+    (Swallow.run ~default:7 (fun () -> failwith "participant down"));
+  Alcotest.(check bool) "Not_found nonfatal" true (Swallow.nonfatal Not_found)
+
+let swallow_reraises_crash () =
+  Alcotest.(check bool) "Crash is fatal" true (Swallow.fatal Crashpoint.Crash);
+  Alcotest.check_raises "Crash escapes Swallow.run" Crashpoint.Crash (fun () ->
+      Swallow.run ~default:() (fun () -> raise Crashpoint.Crash))
+
+let swallow_reraises_assert () =
+  Alcotest.(check bool) "assert false fatal" true
+    (try
+       ignore (Swallow.run ~default:0 (fun () -> assert false));
+       false
+     with Assert_failure _ -> true)
+
+let crash_kills_fiber_silently () =
+  let s = Sched.create () in
+  let reached_end = ref false in
+  ignore
+    (Sched.spawn s ~name:"doomed" (fun () ->
+         (Crashpoint.crash () : unit);
+         reached_end := true));
+  ignore (Sched.spawn s ~name:"bystander" (fun () -> Sched.sleep 1.0));
+  Sched.run s;
+  Alcotest.(check bool) "fiber unwound" false !reached_end;
+  Alcotest.(check int) "no failure recorded" 0 (List.length (Sched.failures s))
+
+let ordinary_exn_still_fails () =
+  let s = Sched.create () in
+  ignore (Sched.spawn s ~name:"bug" (fun () -> failwith "real bug"));
+  Sched.run s;
+  Alcotest.(check int) "failure recorded" 1 (List.length (Sched.failures s))
+
+(* ---- runner ------------------------------------------------------------- *)
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "rrq-lint"
+    [
+      ("r1", List.map (fun (n, f) -> quick n f) r1_cases);
+      ("r2", List.map (fun (n, f) -> quick n f) r2_cases);
+      ("r3", List.map (fun (n, f) -> quick n f) r3_cases);
+      ("r4", List.map (fun (n, f) -> quick n f) r4_cases);
+      ("r5", List.map (fun (n, f) -> quick n f) r5_cases);
+      ( "r6",
+        [ quick "fires: missing mli" r6_fires; quick "silent: covered" r6_silent ]
+      );
+      ("parse", [ quick "syntax error reported" parse_error_reported ]);
+      ( "baseline",
+        [
+          quick "suppresses matching findings" baseline_suppresses;
+          quick "one entry covers an item's findings" baseline_matches_all_same_item;
+          quick "unmatched entry is stale" baseline_goes_stale;
+          quick "malformed line rejected" baseline_rejects_malformed;
+        ] );
+      ( "swallow",
+        [
+          quick "tolerates nonfatal" swallow_tolerates_nonfatal;
+          quick "re-raises Crash" swallow_reraises_crash;
+          quick "re-raises Assert_failure" swallow_reraises_assert;
+        ] );
+      ( "crash",
+        [
+          quick "Crash kills the fiber silently" crash_kills_fiber_silently;
+          quick "ordinary exception still recorded" ordinary_exn_still_fails;
+        ] );
+    ]
