@@ -1,6 +1,6 @@
 # Convenience targets; dune does the real work. See doc/CI.md.
 
-.PHONY: all build test quick-test lint check sim bench clean
+.PHONY: all build test quick-test lint check sim stats bench clean
 
 all: build
 
@@ -22,6 +22,10 @@ lint:
 sim:
 	dune exec bin/rrq_demo.exe -- check --budget 25
 	dune exec bin/rrq_demo.exe -- check --sites
+
+# Observability smoke: a fault-free recorded run, metrics registry dump.
+stats:
+	dune exec bin/rrq_demo.exe -- stats
 
 # The CI gate: build, lint, full tests, simulation-tester smoke.
 check: build lint test sim

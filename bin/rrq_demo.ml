@@ -114,7 +114,13 @@ let check_cmd =
            ~doc:"Enumerate the named crash sites of the quickstart scenario \
                  and crash at every (site, hit) combination.")
   in
-  let run scen_name budget seed replay trace sites =
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"With --replay: record the run under the observability layer \
+                 and write its JSON-lines trace-event dump to FILE (the \
+                 trace-based exactly-once auditor joins the audit).")
+  in
+  let run scen_name budget seed replay trace sites trace_out =
     let scenario =
       match C.Scenario.by_name scen_name with
       | Some s -> s
@@ -152,7 +158,21 @@ let check_cmd =
       match replay with
       | Some line ->
         let plan = C.Plan.of_string line in
-        let o = C.Scenario.run scenario plan in
+        let o =
+          match trace_out with
+          | None -> C.Scenario.run scenario plan
+          | Some file ->
+            let r = C.Scenario.run_recorded scenario plan in
+            let oc = open_out file in
+            output_string oc r.C.Scenario.rec_trace;
+            close_out oc;
+            Printf.printf "trace: %d events written to %s\n"
+              (String.fold_left
+                 (fun n c -> if c = '\n' then n + 1 else n)
+                 0 r.C.Scenario.rec_trace)
+              file;
+            r.C.Scenario.rec_outcome
+        in
         Printf.printf "%s: %s (%d/%d replies, t=%.1f)\n" scenario.C.Scenario.name
           (C.Audit.findings_to_string o.C.Scenario.findings)
           o.C.Scenario.replies o.C.Scenario.requests o.C.Scenario.virtual_time;
@@ -171,10 +191,62 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Deterministic simulation testing: explore fault \
                             schedules, enumerate crash points, replay repros")
-    Term.(const run $ scenario_arg $ budget $ seed $ replay $ trace $ sites)
+    Term.(const run $ scenario_arg $ budget $ seed $ replay $ trace $ sites
+          $ trace_out)
+
+let stats_cmd =
+  let module C = Rrq_check in
+  let scenario_arg =
+    Arg.(value & opt string "quickstart" & info [ "scenario" ] ~docv:"NAME"
+           ~doc:"Scenario to run: quickstart or buggy.")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S"
+           ~doc:"Seed for the (fault-free) plan.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the metrics registry as JSON instead of text.")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Also write the JSON-lines trace-event dump to FILE.")
+  in
+  let run scen_name seed json trace_out =
+    let scenario =
+      match C.Scenario.by_name scen_name with
+      | Some s -> s
+      | None ->
+        Printf.eprintf "unknown scenario %S (try quickstart or buggy)\n" scen_name;
+        exit 2
+    in
+    let plan = C.Plan.make ~seed ~policy:`Fifo ~faults:[] in
+    let r = C.Scenario.run_recorded scenario plan in
+    (match trace_out with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      output_string oc r.C.Scenario.rec_trace;
+      close_out oc);
+    if json then print_endline (Rrq_obs.Metrics.to_json r.C.Scenario.rec_metrics)
+    else begin
+      print_string (Rrq_obs.Metrics.to_text r.C.Scenario.rec_metrics);
+      let o = r.C.Scenario.rec_outcome in
+      Printf.printf "audit: %s (%d/%d replies, t=%.1f)\n"
+        (C.Audit.findings_to_string o.C.Scenario.findings)
+        o.C.Scenario.replies o.C.Scenario.requests o.C.Scenario.virtual_time
+    end;
+    if C.Scenario.failed r.C.Scenario.rec_outcome then exit 1
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run a scenario fault-free under the observability layer and \
+             dump its metrics registry (text or JSON) and trace events")
+    Term.(const run $ scenario_arg $ seed $ json $ trace_out)
 
 let () =
   let doc = "recoverable-request queuing (Bernstein/Hsu/Mann, SIGMOD 1990) demos" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "rrq_demo" ~doc) [ experiments_cmd; soak_cmd; check_cmd ]))
+       (Cmd.group (Cmd.info "rrq_demo" ~doc)
+          [ experiments_cmd; soak_cmd; check_cmd; stats_cmd ]))

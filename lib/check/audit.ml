@@ -102,6 +102,70 @@ let queue_integrity ~sites =
       | [] -> None
       | ps -> Some (String.concat "; " ps))
 
+(* Exactly-once re-derived from the trace stream alone, with no access to
+   end state: every request that was sent or executed must have exactly one
+   server execution whose transaction committed. Sound only when the trace
+   is complete (no ring wraparound) and crashes are plan-driven node
+   crashes under the Immediate commit policy: [Net.crash] kills fibers
+   before the disk loses unsynced buffers, and with no suspension between
+   the durable force and the commit event a killed-mid-commit fiber implies
+   a non-durable commit. A batched force parks follower fibers between the
+   covering sync and their commit events, and crashpoint-armed runs can
+   fire between force and event emission — so this auditor is not in the
+   standard set; [Scenario.run_recorded] applies it. *)
+let exactly_once_trace () =
+  make "exactly-once-trace" (fun () ->
+      if not (Rrq_obs.enabled ()) then
+        Some "observability disabled: no trace to audit"
+      else if Rrq_obs.Trace.dropped () > 0 then
+        Some
+          (Printf.sprintf "trace ring dropped %d events; raise the capacity"
+             (Rrq_obs.Trace.dropped ()))
+      else begin
+        let committed = Hashtbl.create 64 in
+        let sent = Hashtbl.create 16 in
+        let execs : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+        List.iter
+          (fun (_ts, ev) ->
+            match ev with
+            | Rrq_obs.Event.Txn_commit { txid; _ } ->
+              Hashtbl.replace committed txid ()
+            | Rrq_obs.Event.Clerk_send { rid; _ } -> Hashtbl.replace sent rid ()
+            | Rrq_obs.Event.Server_exec { rid; txid; _ } ->
+              let prev =
+                Option.value ~default:[] (Hashtbl.find_opt execs rid)
+              in
+              Hashtbl.replace execs rid (txid :: prev)
+            | _ -> ())
+          (Rrq_obs.Trace.events ());
+        let rids =
+          List.sort_uniq compare
+            (Hashtbl.fold (fun r () acc -> r :: acc) sent []
+            @ Hashtbl.fold (fun r _ acc -> r :: acc) execs [])
+        in
+        if rids = [] then Some "trace contains no requests to audit"
+        else begin
+          let problems =
+            List.filter_map
+              (fun rid ->
+                let n =
+                  List.length
+                    (List.filter (Hashtbl.mem committed)
+                       (Option.value ~default:[] (Hashtbl.find_opt execs rid)))
+                in
+                if n = 0 then
+                  Some (rid ^ ": lost (no committed execution in trace)")
+                else if n > 1 then
+                  Some (Printf.sprintf "%s: %d committed executions" rid n)
+                else None)
+              rids
+          in
+          match problems with
+          | [] -> None
+          | ps -> Some (String.concat "; " ps)
+        end
+      end)
+
 (* After quiescence with every site up, no transaction may still be in
    doubt: the resolver daemons must have settled every prepared txn. *)
 let no_in_doubt ~sites =

@@ -57,3 +57,12 @@ val queue_integrity : sites:(unit -> Rrq_core.Site.t list) -> auditor
 val no_in_doubt : sites:(unit -> Rrq_core.Site.t list) -> auditor
 (** After quiescence with all sites up, no prepared transaction may remain
     unresolved (the resolver daemons must have settled 2PC in-doubts). *)
+
+val exactly_once_trace : unit -> auditor
+(** Exactly-once verified from the [Rrq_obs] trace stream alone: every
+    request appearing in a [Clerk_send] or [Server_exec] event has exactly
+    one [Server_exec] whose txid also appears in a [Txn_commit]. Requires
+    an enabled observability session whose ring never wrapped. Sound for
+    plan-driven crashes under the Immediate commit policy (see the
+    implementation note); not part of the standard auditor set —
+    {!Scenario.run_recorded} applies it. *)

@@ -8,6 +8,9 @@ exception Scenario_failure of string
    and every explored schedule runs through the same driver. *)
 let run_scenario_traced ?policy ?trace_limit f =
   let s = Sched.create ?policy ?trace_limit () in
+  (* If an observability session is active, timestamp its trace events with
+     this world's virtual clock. *)
+  Rrq_obs.Trace.set_clock (fun () -> Sched.now s);
   let driver = f s in
   let result = ref None in
   ignore (Sched.spawn s ~name:"driver" (fun () -> result := Some (driver ())));

@@ -336,3 +336,24 @@ let all = [ quickstart; buggy_clerk ]
 let by_name n = List.find_opt (fun t -> t.name = n) all
 
 let run ?policy t plan = t.run ?policy plan
+
+(* ---- recorded runs ------------------------------------------------------ *)
+
+type recorded = {
+  rec_outcome : outcome;
+  rec_metrics : Rrq_obs.Metrics.snapshot;
+  rec_trace : string;
+}
+
+let run_recorded ?policy ?(trace_capacity = 262144) t plan =
+  Rrq_obs.reset ~trace_capacity ();
+  Fun.protect ~finally:Rrq_obs.disable (fun () ->
+      let o = run ?policy t plan in
+      (* The trace auditor runs while the session is still enabled, so it
+         can see the events; its findings join the scenario's own. *)
+      let extra = Audit.run [ Audit.exactly_once_trace () ] in
+      {
+        rec_outcome = { o with findings = o.findings @ extra };
+        rec_metrics = Rrq_obs.Metrics.snapshot ();
+        rec_trace = Rrq_obs.Trace.dump_jsonl ();
+      })

@@ -53,3 +53,23 @@ val quickstart_crash_at :
 (** Run quickstart with a one-shot crash armed at the [hit]-th reach of the
     named site: the backend disk freezes immediately, the node crashes and
     restarts [recover_after] seconds later. *)
+
+(** {1 Recorded runs}
+
+    A run wrapped in an [Rrq_obs] session: metrics and the trace-event
+    stream are captured, and {!Audit.exactly_once_trace} re-verifies
+    exactly-once from the events alone. *)
+
+type recorded = {
+  rec_outcome : outcome;
+      (** The scenario's outcome, with the trace auditor's findings
+          appended. *)
+  rec_metrics : Rrq_obs.Metrics.snapshot;  (** Metrics at quiescence. *)
+  rec_trace : string;  (** The JSON-lines trace dump. *)
+}
+
+val run_recorded :
+  ?policy:Rrq_sim.Sched.policy -> ?trace_capacity:int -> t -> Plan.t -> recorded
+(** Run one plan under a fresh observability session ([trace_capacity]
+    defaults to 262144 events — quickstart runs use a few thousand).
+    Recording is disabled again on return. *)

@@ -13,6 +13,8 @@ type t = {
   mutable fsm : Client_fsm.state;
   mutable last_rid : string option;
   mutable last_eid : int64 option;
+  (* Virtual send time of the outstanding request, for the rtt metric. *)
+  mutable sent_at : float option;
 }
 
 type connect_info = {
@@ -27,7 +29,17 @@ exception Protocol_violation of string
 (* Track (and under [strict], enforce) the fig. 1/7 state machine. *)
 let transition t event =
   match Client_fsm.step t.fsm event with
-  | Some next -> t.fsm <- next
+  | Some next ->
+    if Rrq_obs.enabled () then
+      Rrq_obs.Trace.emit
+        (Rrq_obs.Event.Client_fsm
+           {
+             client = t.client_id;
+             from_state = Client_fsm.state_to_string t.fsm;
+             event = Client_fsm.event_to_string event;
+             to_state = Client_fsm.state_to_string next;
+           });
+    t.fsm <- next
   | None ->
     if t.strict then
       raise
@@ -105,6 +117,7 @@ let connect ~client_node ~system ~client_id ~req_queue ?reply_queue
       fsm = Client_fsm.Disconnected;
       last_rid = None;
       last_eid = None;
+      sent_at = None;
     }
   in
   let info = do_connect t in
@@ -150,6 +163,11 @@ let send t ~rid ?(props = []) ?kind ?scratch ?step body =
   | Site.R_eid eid ->
     t.last_rid <- Some rid;
     t.last_eid <- Some eid;
+    if Rrq_obs.enabled () then begin
+      if Sched.in_fiber () then t.sent_at <- Some (Sched.clock ());
+      Rrq_obs.Trace.emit
+        (Rrq_obs.Event.Clerk_send { client = t.client_id; rid; eid })
+    end;
     Rrq_sim.Crashpoint.reach ("clerk.sent:" ^ t.client_id);
     eid
   | _ -> raise (Unavailable "unexpected reply to enqueue")
@@ -192,6 +210,21 @@ let receive t ?ckpt ?(timeout = 30.0) () =
       transition t Client_fsm.Receive_intermediate
     | Some _ ->
       transition t Client_fsm.Receive_reply;
+      if Rrq_obs.enabled () then begin
+        Rrq_obs.Trace.emit
+          (Rrq_obs.Event.Clerk_receive
+             {
+               client = t.client_id;
+               rid = Option.value ~default:"" t.last_rid;
+             });
+        (match t.sent_at with
+        | Some t0 when Sched.in_fiber () ->
+          Rrq_obs.Metrics.observe
+            ("clerk.rtt:" ^ t.client_id)
+            (Sched.clock () -. t0)
+        | _ -> ());
+        t.sent_at <- None
+      end;
       Rrq_sim.Crashpoint.reach ("clerk.received:" ^ t.client_id)
     | None -> () (* timeout: no transition; the client will retry *));
     reply

@@ -23,7 +23,19 @@ let process_one site ~req_queue ~registrant ?filter ~wait handler =
         match Qm.dequeue qm (Tm.txn_id txn) h ?filter wait with
         | None -> `Empty
         | Some el ->
+          let t0 =
+            if Rrq_obs.enabled () && Sched.in_fiber () then Sched.clock ()
+            else 0.0
+          in
           let env = Envelope.of_string el.Element.payload in
+          if Rrq_obs.enabled () then
+            Rrq_obs.Trace.emit
+              (Rrq_obs.Event.Server_exec
+                 {
+                   server = registrant;
+                   rid = env.Envelope.rid;
+                   txid = Rrq_txn.Txid.to_string (Tm.txn_id txn);
+                 });
           let emit ~dst ~queue out =
             Site.remote_enqueue site txn ~dst ~queue
               ~props:(Envelope.props out) (Envelope.to_string out)
@@ -38,6 +50,10 @@ let process_one site ~req_queue ~registrant ?filter ~wait handler =
             emit ~dst:env.Envelope.reply_node ~queue:env.Envelope.reply_queue
               reply
           | Forward { dst; queue; env = out } -> emit ~dst ~queue out);
+          if Rrq_obs.enabled () && Sched.in_fiber () then
+            Rrq_obs.Metrics.observe
+              ("server.service:" ^ req_queue)
+              (Sched.clock () -. t0);
           (* Crash site: handler ran and the reply is buffered, but the
              server transaction has not committed yet. *)
           Rrq_sim.Crashpoint.reach ("server.handled:" ^ req_queue);
@@ -63,8 +79,20 @@ let process_one_set site ~req_queues ~registrant ?filter ~wait handler =
     Site.with_txn site (fun txn ->
         match Qm.dequeue_set qm (Tm.txn_id txn) hs ?filter wait with
         | None -> `Empty
-        | Some (_h, el) ->
+        | Some (h, el) ->
+          let t0 =
+            if Rrq_obs.enabled () && Sched.in_fiber () then Sched.clock ()
+            else 0.0
+          in
           let env = Envelope.of_string el.Element.payload in
+          if Rrq_obs.enabled () then
+            Rrq_obs.Trace.emit
+              (Rrq_obs.Event.Server_exec
+                 {
+                   server = registrant;
+                   rid = env.Envelope.rid;
+                   txid = Rrq_txn.Txid.to_string (Tm.txn_id txn);
+                 });
           let emit ~dst ~queue out =
             Site.remote_enqueue site txn ~dst ~queue
               ~props:(Envelope.props out) (Envelope.to_string out)
@@ -79,6 +107,10 @@ let process_one_set site ~req_queues ~registrant ?filter ~wait handler =
             emit ~dst:env.Envelope.reply_node ~queue:env.Envelope.reply_queue
               reply
           | Forward { dst; queue; env = out } -> emit ~dst ~queue out);
+          if Rrq_obs.enabled () && Sched.in_fiber () then
+            Rrq_obs.Metrics.observe
+              ("server.service:" ^ Qm.handle_queue h)
+              (Sched.clock () -. t0);
           `Done)
   with
   | outcome -> outcome

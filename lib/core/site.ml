@@ -275,6 +275,7 @@ let janitor_daemon t () =
   let rec loop () =
     Sched.sleep_background t.stale_timeout;
     ignore (Qm.abort_stale t.s_qm ~older_than:t.stale_timeout);
+    Qm.observe_queues t.s_qm;
     Qm.maybe_checkpoint t.s_qm ~every:t.checkpoint_every;
     Kvdb.maybe_checkpoint t.s_kv ~every:t.checkpoint_every;
     loop ()

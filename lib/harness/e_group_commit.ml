@@ -6,7 +6,11 @@
    [sync_latency] virtual seconds each (and serialize on the device). Under
    [Immediate] every commit pays its own flush, so total throughput is
    pinned near 1/sync_latency no matter how many servers run; under [Batch]
-   one flush covers a whole boatload of commits. *)
+   one flush covers a whole boatload of commits.
+
+   All numbers come from the [Rrq_obs] registry: the QM's own
+   auto-commit counter and latency histogram and group commit's sync
+   counter, diffed across the drain phase so the preload does not count. *)
 
 module Sched = Rrq_sim.Sched
 module Disk = Rrq_storage.Disk
@@ -32,64 +36,67 @@ let policy_name = function
     Printf.sprintf "batch (%.1fms/%d)" (max_delay *. 1000.0) max_batch
 
 let one_run ~policy ~servers ~jobs ~sync_latency =
-  Common.run_scenario (fun s ->
-      let disk = Disk.create ~sync_latency "b12" in
-      let qm = Qm.open_qm ~commit_policy:policy disk ~name:"qm" in
-      Qm.set_clock qm (fun () -> Sched.now s);
-      Qm.create_queue qm "req";
-      let lat = Histogram.create () in
-      let commits = ref 0 in
-      let last_commit = ref 0.0 in
-      fun () ->
-        let h, _ =
-          Qm.register qm ~queue:"req" ~registrant:"drain" ~stable:false
-        in
-        for i = 1 to jobs do
-          ignore
-            (Qm.auto_commit qm (fun id ->
-                 Qm.enqueue qm id h (Printf.sprintf "job%d" i)))
-        done;
-        (* Only the drain phase is under measurement. *)
-        Disk.reset_counters disk;
-        let start = Sched.clock () in
-        let fibers =
-          List.init servers (fun i ->
-              Sched.fork ~name:(Printf.sprintf "server%d" i) (fun () ->
-                  let rec loop () =
-                    let t0 = Sched.clock () in
-                    match
-                      Qm.auto_commit qm (fun id ->
-                          Qm.dequeue qm id h Qm.No_wait)
-                    with
-                    | Some _ ->
-                      Histogram.add lat (Sched.clock () -. t0);
-                      incr commits;
-                      last_commit := Sched.clock ();
-                      loop ()
-                    | None -> ()
-                  in
-                  loop ()))
-        in
-        ignore
-          (Common.await ~timeout:3000.0 ~poll:0.01 (fun () ->
-               not (List.exists Sched.alive fibers)));
-        (* Poll granularity must not skew throughput: stop the clock at the
-           last commit, not at the poll that noticed it. *)
-        let elapsed = !last_commit -. start in
-        {
-          policy = policy_name policy;
-          servers;
-          commits = !commits;
-          elapsed;
-          commits_per_sec =
-            (if elapsed > 0.0 then float_of_int !commits /. elapsed else 0.0);
-          syncs_per_commit =
-            (if !commits > 0 then
-               float_of_int (Disk.sync_count disk) /. float_of_int !commits
-             else 0.0);
-          commit_p50 = Histogram.percentile lat 0.50;
-          commit_p99 = Histogram.percentile lat 0.99;
-        })
+  Rrq_obs.reset ();
+  Fun.protect ~finally:Rrq_obs.disable (fun () ->
+      Common.run_scenario (fun s ->
+          let disk = Disk.create ~sync_latency "b12" in
+          let qm = Qm.open_qm ~commit_policy:policy disk ~name:"qm" in
+          Qm.set_clock qm (fun () -> Sched.now s);
+          Qm.create_queue qm "req";
+          let last_commit = ref 0.0 in
+          fun () ->
+            let h, _ =
+              Qm.register qm ~queue:"req" ~registrant:"drain" ~stable:false
+            in
+            for i = 1 to jobs do
+              ignore
+                (Qm.auto_commit qm (fun id ->
+                     Qm.enqueue qm id h (Printf.sprintf "job%d" i)))
+            done;
+            (* Only the drain phase is under measurement. *)
+            let before = Rrq_obs.Metrics.snapshot () in
+            let start = Sched.clock () in
+            let fibers =
+              List.init servers (fun i ->
+                  Sched.fork ~name:(Printf.sprintf "server%d" i) (fun () ->
+                      let rec loop () =
+                        match
+                          Qm.auto_commit qm (fun id ->
+                              Qm.dequeue qm id h Qm.No_wait)
+                        with
+                        | Some _ ->
+                          last_commit := Sched.clock ();
+                          loop ()
+                        | None -> ()
+                      in
+                      loop ()))
+            in
+            ignore
+              (Common.await ~timeout:3000.0 ~poll:0.01 (fun () ->
+                   not (List.exists Sched.alive fibers)));
+            let d =
+              Rrq_obs.Metrics.diff ~before
+                ~after:(Rrq_obs.Metrics.snapshot ())
+            in
+            let commits = Rrq_obs.Metrics.find_counter d "qm.auto_commits:qm" in
+            let syncs = Rrq_obs.Metrics.find_counter d "gc.syncs:qm.qmlog" in
+            let lat = Rrq_obs.Metrics.histogram d "qm.commit.latency:qm" in
+            (* Poll granularity must not skew throughput: stop the clock at
+               the last commit, not at the poll that noticed it. *)
+            let elapsed = !last_commit -. start in
+            {
+              policy = policy_name policy;
+              servers;
+              commits;
+              elapsed;
+              commits_per_sec =
+                (if elapsed > 0.0 then float_of_int commits /. elapsed else 0.0);
+              syncs_per_commit =
+                (if commits > 0 then float_of_int syncs /. float_of_int commits
+                 else 0.0);
+              commit_p50 = Histogram.percentile lat 0.50;
+              commit_p99 = Histogram.percentile lat 0.99;
+            }))
 
 let default_batch = Group_commit.Batch { max_delay = 0.0005; max_batch = 64 }
 

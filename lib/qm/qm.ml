@@ -325,6 +325,10 @@ let remove_element t eid =
     (match q.qattrs.alert_threshold with
     | Some thr when queue_depth q < thr -> q.alerted <- false
     | _ -> ());
+    if Rrq_obs.enabled () then
+      Rrq_obs.Metrics.set_gauge
+        (Printf.sprintf "qm.depth:%s/%s" t.qm_name q.qname)
+        (float_of_int (queue_depth q));
     Some (q, el)
 
 (* Insert, following redirection, then fire any completed trigger group. *)
@@ -337,6 +341,10 @@ let rec insert_element t qn el =
     q.elems <- Emap.add (Element.key el) el q.elems;
     Hashtbl.replace t.index el.Element.eid (q.qname, el);
     if not t.replaying then q.n_enq <- q.n_enq + 1;
+    if Rrq_obs.enabled () then
+      Rrq_obs.Metrics.set_gauge
+        (Printf.sprintf "qm.depth:%s/%s" t.qm_name q.qname)
+        (float_of_int (queue_depth q));
     Cond.signal q.nonempty;
     check_alert t q;
     check_triggers t q el
@@ -392,18 +400,40 @@ and now t =
    eids unique anyway. *)
 
 let apply t op =
+  (* Operation counters live here (not in the workspace path) so they count
+     committed effects only, and the [replaying] guard keeps recovery from
+     double-counting a run's history. *)
+  let live = not t.replaying && Rrq_obs.enabled () in
   match op with
   | RCreate (qn, a) -> ensure_queue t qn a
-  | REnq (qn, el) -> insert_element t qn el
+  | REnq (qn, el) ->
+    if live then Rrq_obs.Metrics.inc ("qm.enqueues:" ^ t.qm_name);
+    insert_element t qn el
   | RDeq eid -> begin
     match remove_element t eid with
-    | Some (q, _) -> if not t.replaying then q.n_deq <- q.n_deq + 1
+    | Some (q, el) ->
+      if not t.replaying then q.n_deq <- q.n_deq + 1;
+      if live then begin
+        Rrq_obs.Metrics.inc ("qm.dequeues:" ^ t.qm_name);
+        Rrq_obs.Metrics.observe
+          (Printf.sprintf "qm.wait:%s/%s" t.qm_name q.qname)
+          (t.clock () -. el.Element.enq_time)
+      end
     | None -> ()
   end
-  | RKill eid -> ignore (remove_element t eid)
+  | RKill eid ->
+    if live then Rrq_obs.Metrics.inc ("qm.kills:" ^ t.qm_name);
+    ignore (remove_element t eid)
   | RBump eid -> begin
     match Hashtbl.find_opt t.index eid with
-    | Some (_, el) -> el.Element.delivery_count <- el.Element.delivery_count + 1
+    | Some (_, el) ->
+      el.Element.delivery_count <- el.Element.delivery_count + 1;
+      if live then begin
+        Rrq_obs.Metrics.inc ("qm.bumps:" ^ t.qm_name);
+        Rrq_obs.Metrics.observe
+          ("qm.abort_count:" ^ t.qm_name)
+          (float_of_int el.Element.delivery_count)
+      end
     | None -> ()
   end
   | RMove_error (eid, errq, code) -> begin
@@ -412,6 +442,12 @@ let apply t op =
     | Some (_, el) ->
       el.Element.abort_code <- Some code;
       el.Element.status <- Element.Ready;
+      if live then begin
+        Rrq_obs.Metrics.inc ("qm.spills:" ^ t.qm_name);
+        Rrq_obs.Trace.emit
+          (Rrq_obs.Event.Error_spill
+             { qm = t.qm_name; error_queue = errq; eid; code })
+      end;
       ensure_queue t errq
         { default_attrs with retry_limit = max_int; error_queue = Some errq };
       insert_element t errq el
@@ -757,6 +793,10 @@ let enqueue t id h ?tag ?(props = []) ?(priority = 0) payload =
         op_errq = None;
       }
   | _ -> ());
+  if Rrq_obs.enabled () then
+    Rrq_obs.Trace.emit
+      (Rrq_obs.Event.Enqueue
+         { qm = t.qm_name; queue = h.h_queue; eid; txid = Txid.to_string id });
   eid
 
 let select_ready ?rank q filter =
@@ -812,6 +852,15 @@ let take t id h ?tag ?errq q el =
       }
   | _ -> ());
   ignore q;
+  if Rrq_obs.enabled () then
+    Rrq_obs.Trace.emit
+      (Rrq_obs.Event.Dequeue
+         {
+           qm = t.qm_name;
+           queue = h.h_queue;
+           eid = el.Element.eid;
+           txid = Txid.to_string id;
+         });
   el
 
 let with_lock_conflicts f =
@@ -891,13 +940,39 @@ let dequeue_set t id hs ?tag ?(filter = Filter.True) wait =
 
 let read t eid =
   match Hashtbl.find_opt t.index eid with
-  | Some (_, el) -> Some el
-  | None -> None
+  | Some (qn, el) ->
+    if Rrq_obs.enabled () then
+      Rrq_obs.Trace.emit
+        (Rrq_obs.Event.Read { qm = t.qm_name; queue = qn; found = true });
+    Some el
+  | None ->
+    if Rrq_obs.enabled () then
+      Rrq_obs.Trace.emit
+        (Rrq_obs.Event.Read { qm = t.qm_name; queue = ""; found = false });
+    None
 
 let read_last t h =
   match (reg_of t h).r_last with
   | Some { element_copy; _ } -> element_copy
   | None -> None
+
+(* Refresh per-queue depth and head-of-line age gauges; called periodically
+   (the site janitor) and before metric dumps, since age only decays as the
+   clock advances, not on queue activity. *)
+let observe_queues t =
+  if Rrq_obs.enabled () then
+    Hashtbl.iter
+      (fun qn q ->
+        Rrq_obs.Metrics.set_gauge
+          (Printf.sprintf "qm.depth:%s/%s" t.qm_name qn)
+          (float_of_int (queue_depth q));
+        let age =
+          match Emap.min_binding_opt q.elems with
+          | Some (_, el) -> t.clock () -. el.Element.enq_time
+          | None -> 0.0
+        in
+        Rrq_obs.Metrics.set_gauge (Printf.sprintf "qm.age:%s/%s" t.qm_name qn) age)
+      t.queues
 
 (* ---- commitment ------------------------------------------------------ *)
 
@@ -1014,9 +1089,19 @@ let auto_commit t f =
   let id =
     Txid.make ~origin:(t.qm_name ^ "!auto") ~inc:t.incarnations ~n:t.auto_n
   in
+  let t0 = if Rrq_obs.enabled () then t.clock () else 0.0 in
   match f id with
   | v ->
+    (* Only count transactions that buffered work: polling an empty queue
+       auto-commits too, and counting those would skew commit rates. *)
+    let worked = Hashtbl.mem t.workspaces id in
     commit_one_phase t id;
+    if worked && Rrq_obs.enabled () then begin
+      Rrq_obs.Metrics.inc ("qm.auto_commits:" ^ t.qm_name);
+      Rrq_obs.Metrics.observe
+        ("qm.commit.latency:" ^ t.qm_name)
+        (t.clock () -. t0)
+    end;
     v
   | exception e ->
     abort t id;

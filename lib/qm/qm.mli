@@ -193,6 +193,12 @@ val read_last : t -> handle -> Element.t option
 (** The registration's saved element copy (Rereceive support): available
     even after the element was dequeued — possibly by someone else. *)
 
+val observe_queues : t -> unit
+(** Refresh the [Rrq_obs] per-queue depth and head-of-line-age gauges.
+    No-op when observability is disabled. Depth gauges also track every
+    insert/remove; age only moves when this is called, so periodic callers
+    (the site janitor) keep it current. *)
+
 val kill_element : t -> int64 -> bool
 (** Cancel support (§7): durably delete the element. If an uncommitted
     transaction dequeued it, that transaction is aborted through the abort

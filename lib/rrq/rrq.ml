@@ -43,6 +43,9 @@ module Autoscale = Rrq_core.Autoscale
 module Replica = Rrq_core.Replica
 module Stream_clerk = Rrq_core.Stream_clerk
 
+(* observability *)
+module Obs = Rrq_obs
+
 (* deterministic simulation testing *)
 module Audit = Rrq_check.Audit
 module Plan = Rrq_check.Plan

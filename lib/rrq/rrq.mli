@@ -50,6 +50,10 @@ module Autoscale = Rrq_core.Autoscale
 module Replica = Rrq_core.Replica
 module Stream_clerk = Rrq_core.Stream_clerk
 
+(** {1 Observability} *)
+
+module Obs = Rrq_obs
+
 (** {1 Deterministic simulation testing} *)
 
 module Audit = Rrq_check.Audit

@@ -56,6 +56,7 @@ let reach site =
       (* One-shot: disarm before firing so the action (which may restart the
          very component hosting this site) cannot re-trigger itself. *)
       trigger := None;
+      Rrq_obs.Trace.emit (Rrq_obs.Event.Crashpoint_fired { site; hit = n });
       a.a_action ()
     | _ -> ()
   end

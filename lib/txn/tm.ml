@@ -115,6 +115,12 @@ let begin_txn t =
     }
   in
   Hashtbl.replace t.live txn.id txn;
+  if Rrq_obs.enabled () then begin
+    Rrq_obs.Metrics.inc ("tm.begins:" ^ t.tm_name);
+    Rrq_obs.Trace.emit
+      (Rrq_obs.Event.Txn_begin
+         { tm = t.tm_name; txid = Txid.to_string txn.id })
+  end;
   txn
 
 let txn_id txn = txn.id
@@ -199,6 +205,34 @@ let commit t txn =
     Aborted
   | Finished Committed -> Committed
   | Active -> begin
+    (* Commit latency runs from here to the durable outcome; under a
+       batched force the fiber may park inside [Group_commit.force], and
+       that wait is exactly what the histogram should show. *)
+    let t0 =
+      if Rrq_obs.enabled () && Sched.in_fiber () then Sched.clock () else 0.0
+    in
+    let commit_done () =
+      t.n_committed <- t.n_committed + 1;
+      if Rrq_obs.enabled () then begin
+        Rrq_obs.Metrics.inc ("tm.commits:" ^ t.tm_name);
+        if Sched.in_fiber () then
+          Rrq_obs.Metrics.observe
+            ("tm.commit.latency:" ^ t.tm_name)
+            (Sched.clock () -. t0);
+        Rrq_obs.Trace.emit
+          (Rrq_obs.Event.Txn_commit
+             { tm = t.tm_name; txid = Txid.to_string txn.id })
+      end
+    in
+    let abort_done () =
+      t.n_aborted <- t.n_aborted + 1;
+      if Rrq_obs.enabled () then begin
+        Rrq_obs.Metrics.inc ("tm.aborts:" ^ t.tm_name);
+        Rrq_obs.Trace.emit
+          (Rrq_obs.Event.Txn_abort
+             { tm = t.tm_name; txid = Txid.to_string txn.id })
+      end
+    in
     Hashtbl.remove t.live txn.id;
     (* Participants that buffered no update are excused with an abort
        notice, which merely releases their read locks. *)
@@ -210,17 +244,17 @@ let commit t txn =
     List.iter (fun p -> Swallow.unit (fun () -> p.p_abort txn.id)) workless;
     match parts with
     | [] ->
-      t.n_committed <- t.n_committed + 1;
+      commit_done ();
       finish txn Committed;
       Committed
     | [ p ] when p.p_is_local ->
       if Swallow.run ~default:false (fun () -> p.p_one_phase txn.id) then begin
-        t.n_committed <- t.n_committed + 1;
+        commit_done ();
         finish txn Committed;
         Committed
       end
       else begin
-        t.n_aborted <- t.n_aborted + 1;
+        abort_done ();
         Swallow.unit (fun () -> p.p_abort txn.id);
         finish txn Aborted;
         Aborted
@@ -237,7 +271,7 @@ let commit t txn =
       if not all_yes then begin
         Hashtbl.remove t.deciding txn.id;
         List.iter (fun p -> Swallow.unit (fun () -> p.p_abort txn.id)) parts;
-        t.n_aborted <- t.n_aborted + 1;
+        abort_done ();
         finish txn Aborted;
         Aborted
       end
@@ -253,7 +287,7 @@ let commit t txn =
         Rrq_sim.Crashpoint.reach ("tm.decided:" ^ t.tm_name);
         Hashtbl.replace t.pending txn.id (ref pnames);
         Hashtbl.remove t.deciding txn.id;
-        t.n_committed <- t.n_committed + 1;
+        commit_done ();
         finish txn Committed;
         deliver_commits t txn.id parts;
         Committed
@@ -267,6 +301,12 @@ let abort t txn =
     Hashtbl.remove t.live txn.id;
     List.iter (fun p -> Swallow.unit (fun () -> p.p_abort txn.id)) (List.rev txn.participants);
     t.n_aborted <- t.n_aborted + 1;
+    if Rrq_obs.enabled () then begin
+      Rrq_obs.Metrics.inc ("tm.aborts:" ^ t.tm_name);
+      Rrq_obs.Trace.emit
+        (Rrq_obs.Event.Txn_abort
+           { tm = t.tm_name; txid = Txid.to_string txn.id })
+    end;
     finish txn Aborted
 
 let force_abort t id =

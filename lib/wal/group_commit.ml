@@ -41,7 +41,8 @@ let do_sync t =
      let wait = Disk.reserve_sync t.disk ~now:(Sched.clock ()) in
      if wait > 0.0 then Sched.sleep wait);
   Wal.sync t.wal;
-  t.n_syncs <- t.n_syncs + 1
+  t.n_syncs <- t.n_syncs + 1;
+  if Rrq_obs.enabled () then Rrq_obs.Metrics.inc ("gc.syncs:" ^ Wal.name t.wal)
 
 (* Wake every parked follower the last sync covered. After a successful
    sync the durable LSN equals the appended LSN, which covers everyone who
@@ -55,15 +56,30 @@ let wake_covered t =
     List.partition (fun (lsn, _) -> dead || lsn <= durable) t.waiters
   in
   t.waiters <- parked;
-  List.iter (fun (_, w) -> ignore (Sched.wake w true)) (List.rev ready)
+  List.iter (fun (_, w) -> ignore (Sched.wake w true)) (List.rev ready);
+  List.length ready
+
+(* A sealed batch = one physical sync amortised over [n] committers. *)
+let observe_batch t n =
+  if Rrq_obs.enabled () then begin
+    let wal = Wal.name t.wal in
+    Rrq_obs.Metrics.observe ("gc.batch:" ^ wal) (float_of_int n);
+    Rrq_obs.Trace.emit (Rrq_obs.Event.Batch_seal { wal; batch = n })
+  end
 
 let force t =
   let lsn = Wal.appended_lsn t.wal in
   if lsn > Wal.durable_lsn t.wal && not (Disk.is_dead t.disk) then begin
     t.n_forces <- t.n_forces + 1;
+    if Rrq_obs.enabled () then
+      Rrq_obs.Metrics.inc ("gc.forces:" ^ Wal.name t.wal);
     match t.pol with
-    | Immediate -> do_sync t
-    | Batch _ when not (Sched.in_fiber ()) -> do_sync t
+    | Immediate ->
+      do_sync t;
+      observe_batch t 1
+    | Batch _ when not (Sched.in_fiber ()) ->
+      do_sync t;
+      observe_batch t 1
     | Batch { max_delay; max_batch } ->
       if t.leading then begin
         (* Follower: the leader's sync will cover our records (it flushes
@@ -80,7 +96,8 @@ let force t =
           ignore (Cond.wait_timeout t.full max_delay);
         do_sync t;
         t.leading <- false;
-        wake_covered t
+        let covered = wake_covered t in
+        observe_batch t (covered + 1)
       end
   end
 

@@ -140,13 +140,21 @@ let open_log disk ~name:base =
   (t, { snapshot; records })
 
 let disk t = t.disk
+let name t = t.base
 let appended_lsn t = t.appended_lsn
 let durable_lsn t = t.durable_lsn
 
 let append t payload =
   Disk.append t.file (frame payload);
   t.since_ckpt <- t.since_ckpt + 1;
-  t.appended_lsn <- t.appended_lsn + 1
+  t.appended_lsn <- t.appended_lsn + 1;
+  if Rrq_obs.enabled () then begin
+    Rrq_obs.Metrics.inc ("wal.appends:" ^ t.base);
+    Rrq_obs.Metrics.inc ~by:(String.length payload) ("wal.bytes:" ^ t.base);
+    Rrq_obs.Trace.emit
+      (Rrq_obs.Event.Wal_append
+         { wal = t.base; lsn = t.appended_lsn; bytes = String.length payload })
+  end
 
 (* [Disk.sync] flushes everything buffered, so on success the durable LSN
    jumps to the append LSN — including records appended by other fibers
@@ -157,6 +165,11 @@ let sync t =
   Rrq_sim.Crashpoint.reach ("wal.sync:" ^ t.base);
   Disk.sync t.file;
   if not (Disk.is_dead t.disk) then t.durable_lsn <- t.appended_lsn;
+  if Rrq_obs.enabled () then begin
+    Rrq_obs.Metrics.inc ("wal.syncs:" ^ t.base);
+    Rrq_obs.Trace.emit
+      (Rrq_obs.Event.Wal_force { wal = t.base; lsn = t.durable_lsn })
+  end;
   Rrq_sim.Crashpoint.reach ("wal.synced:" ^ t.base)
 
 let append_sync t payload =

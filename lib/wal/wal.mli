@@ -23,6 +23,10 @@ val open_log : Rrq_storage.Disk.t -> name:string -> t * recovered
 val disk : t -> Rrq_storage.Disk.t
 (** The disk holding this log (its device model governs force cost). *)
 
+val name : t -> string
+(** The log's base name, as passed to {!open_log} — used to key metrics
+    and trace events. *)
+
 val append : t -> string -> unit
 (** Buffer a record at the log tail. Not durable until {!sync}. *)
 

@@ -12,6 +12,7 @@
 
 module Sched = Rrq_sim.Sched
 module C = Rrq_check
+module Obs = Rrq_obs
 
 (* ---- scheduling policies ------------------------------------------------ *)
 
@@ -231,6 +232,77 @@ let test_crash_site_sweep () =
   Alcotest.(check (list string)) "every crash point recovered cleanly" []
     (List.rev !failures)
 
+(* ---- recorded runs: the observability layer under the checker ----------- *)
+
+(* A recorded fault-free run must produce a non-empty trace that the
+   trace-based exactly-once auditor validates from events alone (it joins
+   the outcome's findings in [run_recorded]). *)
+let test_recorded_fault_free () =
+  let plan = C.Plan.make ~seed:0 ~policy:`Fifo ~faults:[] in
+  let r = C.Scenario.run_recorded C.Scenario.quickstart plan in
+  let o = r.C.Scenario.rec_outcome in
+  Alcotest.(check string) "all auditors passed, including exactly-once-trace"
+    "all auditors passed"
+    (C.Audit.findings_to_string o.C.Scenario.findings);
+  Alcotest.(check bool) "trace dump is non-empty" true
+    (String.length r.C.Scenario.rec_trace > 0);
+  (* Every dumped line is a well-formed JSON-lines record. *)
+  let lines =
+    List.filter (fun l -> l <> "")
+      (String.split_on_char '\n' r.C.Scenario.rec_trace)
+  in
+  Alcotest.(check bool) "a real run emits many events" true
+    (List.length lines > 50);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "line is a JSON object" true
+        (String.length l > 2 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+    lines;
+  (* The registry snapshot carries the headline counters. *)
+  let m = r.C.Scenario.rec_metrics in
+  Alcotest.(check bool) "counted client requests" true
+    (Obs.Metrics.find_counter m "qm.enqueues:qm@backend" >= 4);
+  Alcotest.(check bool) "counted transaction commits" true
+    (Obs.Metrics.find_counter m "tm.commits:backend" >= 4)
+
+(* Recording is passive: the same fault plan recorded twice yields
+   byte-identical metric and trace dumps — on a faulty schedule too. *)
+let test_recorded_determinism () =
+  let plans =
+    C.Plan.make ~seed:0 ~policy:`Fifo ~faults:[]
+    :: List.map (fun seed -> C.Plan.random ~seed ~profile) [ 3; 11 ]
+  in
+  List.iter
+    (fun plan ->
+      let r1 = C.Scenario.run_recorded C.Scenario.quickstart plan in
+      let r2 = C.Scenario.run_recorded C.Scenario.quickstart plan in
+      let label = C.Plan.to_string plan in
+      Alcotest.(check string)
+        (Printf.sprintf "byte-identical trace dump [%s]" label)
+        r1.C.Scenario.rec_trace r2.C.Scenario.rec_trace;
+      Alcotest.(check bool)
+        (Printf.sprintf "trace non-empty [%s]" label)
+        true
+        (String.length r1.C.Scenario.rec_trace > 0);
+      Alcotest.(check string)
+        (Printf.sprintf "byte-identical metrics JSON [%s]" label)
+        (Obs.Metrics.to_json r1.C.Scenario.rec_metrics)
+        (Obs.Metrics.to_json r2.C.Scenario.rec_metrics))
+    plans
+
+(* Recording must not perturb the schedule: the un-recorded run of the
+   same plan takes the identical decision sequence. *)
+let test_recording_is_passive () =
+  let plan = C.Plan.random ~seed:7 ~profile in
+  let bare = C.Scenario.run C.Scenario.quickstart plan in
+  let recorded = C.Scenario.run_recorded C.Scenario.quickstart plan in
+  Alcotest.(check string) "same decision trace with recording on"
+    (Sched.trace_to_string bare.C.Scenario.trace)
+    (Sched.trace_to_string recorded.C.Scenario.rec_outcome.C.Scenario.trace);
+  Alcotest.(check int) "same replies"
+    bare.C.Scenario.replies
+    recorded.C.Scenario.rec_outcome.C.Scenario.replies
+
 (* ---- property: auditors hold under arbitrary small fault schedules ------ *)
 
 let prop_quickstart_audits_hold =
@@ -274,6 +346,15 @@ let () =
         ] );
       ( "crashpoints",
         [ Alcotest.test_case "exhaustive site sweep" `Slow test_crash_site_sweep ] );
+      ( "recorded",
+        [
+          Alcotest.test_case "fault-free run audited from the trace" `Quick
+            test_recorded_fault_free;
+          Alcotest.test_case "byte-identical dumps per plan" `Quick
+            test_recorded_determinism;
+          Alcotest.test_case "recording is passive" `Quick
+            test_recording_is_passive;
+        ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest ~long:true prop_quickstart_audits_hold ] );
     ]

@@ -20,6 +20,8 @@ module Qm = Rrq_qm.Qm
 module Kvdb = Rrq_kvdb.Kvdb
 module Element = Rrq_qm.Element
 module H = Rrq_test_support.Sim_harness
+module C = Rrq_check
+module Obs = Rrq_obs
 
 let open_world ?commit_policy disk =
   let tm = Tm.open_tm ?commit_policy disk ~name:"node" in
@@ -165,6 +167,53 @@ let test_double_crash_sweep () =
         check_invariants ~point:(1000 + point2) (recover_and_audit disk))
   done
 
+(* ---- named crash sites announce themselves in the trace ----------------- *)
+
+(* When an armed [Crashpoint] fires it must emit a [Crashpoint_fired] trace
+   event, so a recorded fault-injection run shows exactly where the fault
+   landed. Runs one armed quickstart run per site under the observability
+   layer and looks for the event. *)
+let crashed_site_in_trace ~site =
+  Obs.reset ();
+  Fun.protect ~finally:Obs.disable (fun () ->
+      let o = C.Scenario.quickstart_crash_at ~site ~hit:1 ~recover_after:1.0 in
+      let fired =
+        List.filter
+          (fun (_, e) ->
+            match e with
+            | Obs.Event.Crashpoint_fired { site = s; hit = h } ->
+              s = site && h = 1
+            | _ -> false)
+          (Obs.Trace.events ())
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%s fired exactly once in the trace" site)
+        1 (List.length fired);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s still recovers cleanly" site)
+        false (C.Scenario.failed o))
+
+let quickstart_sites () =
+  let sites = C.Scenario.quickstart_crash_sites () in
+  Alcotest.(check bool) "the probe finds a rich site space" true
+    (List.length sites > 10);
+  List.map fst sites
+
+let test_crashpoint_trace_single () =
+  let sites = quickstart_sites () in
+  (* One site per subsystem prefix keeps the Quick tier fast. *)
+  let pick prefix =
+    match List.find_opt (String.starts_with ~prefix) sites with
+    | Some s -> s
+    | None -> Alcotest.failf "no crash site with prefix %s" prefix
+  in
+  List.iter
+    (fun prefix -> crashed_site_in_trace ~site:(pick prefix))
+    [ "wal.sync:"; "tm."; "clerk."; "server." ]
+
+let test_crashpoint_trace_all_sites () =
+  List.iter (fun site -> crashed_site_in_trace ~site) (quickstart_sites ())
+
 let () =
   Alcotest.run "rrq-crashpoints"
     [
@@ -172,5 +221,12 @@ let () =
         [
           Alcotest.test_case "every sync boundary" `Quick test_sweep;
           Alcotest.test_case "double crash" `Quick test_double_crash_sweep;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "fired sites appear in the trace" `Quick
+            test_crashpoint_trace_single;
+          Alcotest.test_case "every named site emits its event" `Slow
+            test_crashpoint_trace_all_sites;
         ] );
     ]

@@ -3,6 +3,9 @@
 
 module Lock = Rrq_txn.Lock
 module Txid = Rrq_txn.Txid
+module Tm = Rrq_txn.Tm
+module Sched = Rrq_sim.Sched
+module Obs = Rrq_obs
 module Qm = Rrq_qm.Qm
 module Element = Rrq_qm.Element
 module Filter = Rrq_qm.Filter
@@ -228,6 +231,70 @@ let prop_element_roundtrip =
       && el'.Element.abort_code = el.Element.abort_code
       && el'.Element.status = Element.Ready)
 
+(* --- observability: the registry obeys conservation laws ------------------ *)
+
+(* Random transactional workloads over one TM and one QM. Whatever the mix
+   of committed enqueues/dequeues and aborted dequeues (which bump retry
+   counts and eventually spill to the error queue), the registry must
+   balance: elements are conserved, every begun transaction ends exactly
+   once, and spills only happen on aborts. *)
+let prop_obs_conservation =
+  QCheck2.Test.make ~name:"obs: metrics registry conservation laws" ~count:60
+    QCheck2.Gen.(list_size (int_bound 40) (int_bound 5))
+    (fun ops ->
+      Obs.reset ();
+      Fun.protect ~finally:Obs.disable (fun () ->
+          H.run_fiber' (fun s ->
+              let disk = Disk.create "p" in
+              let tm = Tm.open_tm disk ~name:"tmobs" in
+              let qm = Qm.open_qm disk ~name:"q" in
+              Qm.set_clock qm (fun () -> Sched.now s);
+              Qm.create_queue qm
+                ~attrs:{ Qm.default_attrs with Qm.retry_limit = 2 }
+                "work";
+              let h, _ =
+                Qm.register qm ~queue:"work" ~registrant:"p" ~stable:false
+              in
+              List.iter
+                (fun op ->
+                  let txn = Tm.begin_txn tm in
+                  let id = Tm.txn_id txn in
+                  Tm.join txn (Qm.participant qm);
+                  match op with
+                  | 0 | 1 | 2 ->
+                    ignore (Qm.enqueue qm id h "payload");
+                    ignore (Tm.commit tm txn)
+                  | 3 ->
+                    ignore (Qm.dequeue qm id h Qm.No_wait);
+                    ignore (Tm.commit tm txn)
+                  | _ ->
+                    ignore (Qm.dequeue qm id h Qm.No_wait);
+                    Tm.abort tm txn)
+                ops;
+              let c = Obs.Metrics.counter in
+              let enq = c "qm.enqueues:q" in
+              let deq = c "qm.dequeues:q" in
+              let kills = c "qm.kills:q" in
+              let spills = c "qm.spills:q" in
+              let begins = c "tm.begins:tmobs" in
+              let commits = c "tm.commits:tmobs" in
+              let aborts = c "tm.aborts:tmobs" in
+              let depth =
+                int_of_float (Obs.Metrics.sum_gauges ~prefix:"qm.depth:q/")
+              in
+              if enq - deq - kills <> depth then
+                QCheck2.Test.fail_reportf
+                  "element conservation: enq=%d deq=%d kills=%d but depth=%d"
+                  enq deq kills depth
+              else if commits + aborts <> begins then
+                QCheck2.Test.fail_reportf
+                  "txn conservation: begins=%d commits=%d aborts=%d" begins
+                  commits aborts
+              else if spills > aborts then
+                QCheck2.Test.fail_reportf "spills=%d exceed aborts=%d" spills
+                  aborts
+              else true)))
+
 (* Umbrella-module smoke: the [Rrq] re-exports resolve and link. *)
 let test_umbrella_links () =
   Alcotest.(check bool) "filter through the umbrella" true
@@ -250,6 +317,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_qm_dequeue_order;
           QCheck_alcotest.to_alcotest prop_qm_rank_max;
         ] );
+      ("obs", [ QCheck_alcotest.to_alcotest prop_obs_conservation ]);
       ("umbrella", [ Alcotest.test_case "links" `Quick test_umbrella_links ]);
       ( "codecs",
         [
