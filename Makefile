@@ -1,6 +1,6 @@
 # Convenience targets; dune does the real work. See doc/CI.md.
 
-.PHONY: all build test quick-test lint check sim stats bench clean
+.PHONY: all build test quick-test lint check sim stats bench bench-smoke clean
 
 all: build
 
@@ -32,6 +32,13 @@ check: build lint test sim
 
 bench:
 	dune exec bench/main.exe
+
+# The perf-path smoke (also runs as part of `dune runtest`): B1 (queue op
+# micro-costs incl. the main-memory fast path), B12 (group commit) and B14
+# (adaptive policy) at tiny iteration counts — exercises the measurement
+# harness and the seal-reason counters, does not produce meaningful numbers.
+bench-smoke:
+	dune exec bench/main.exe -- --smoke --only B1 --only B12 --only B14
 
 clean:
 	dune clean

@@ -122,7 +122,13 @@ let good_client ~client_node ~id ~replies () =
    ([Rrq_sim.Crashpoint]): freeze the backend disk immediately (the fiber
    that reached the site keeps running to its next suspension, and must not
    produce durable effects), then crash the node and restart it later. *)
-let run_quickstart ?armed ?policy (plan : Plan.t) =
+(* [queue_attrs]/[commit_policy] select the request queue's durability
+   class and the site's commit batching — the main-memory variant below
+   runs the same closed world over a [Main_memory] request queue with
+   adaptive group commit, so every auditor (exactly-once above all) gets
+   exercised against redo-only recovery. *)
+let run_quickstart ?armed ?policy ?(queue_attrs = Qm.default_attrs)
+    ?commit_policy (plan : Plan.t) =
   let pol = match policy with Some p -> p | None -> Plan.sched_policy plan in
   let replies = ref 0 in
   let clients_done = ref 0 in
@@ -131,8 +137,8 @@ let run_quickstart ?armed ?policy (plan : Plan.t) =
       Runner.run_scenario_traced ~policy:pol (fun s ->
           let net = Net.create ~latency:0.005 s (Rng.create ((plan.Plan.seed * 7) + 1)) in
           let site =
-            Site.create
-              ~queues:[ ("req", Qm.default_attrs) ]
+            Site.create ?commit_policy
+              ~queues:[ ("req", queue_attrs) ]
               ~stale_timeout:3.0
               (Net.make_node net "backend")
           in
@@ -205,6 +211,23 @@ let quickstart =
     run = (fun ?policy plan -> run_quickstart ?policy plan);
   }
 
+(* Same world, main-memory request queue + adaptive group commit: element
+   payload and order live purely in memory, only redo records hit the WAL,
+   and recovery rebuilds the queue from the redo scan. Exactly-once must
+   hold anyway — that equivalence is what the mm crash sweeps check. *)
+let mm_attrs = { Qm.default_attrs with durability = Qm.Main_memory }
+let mm_policy = Rrq_wal.Group_commit.Adaptive { max_delay = 0.0005; max_batch = 64 }
+
+let quickstart_mm =
+  {
+    name = "quickstart-mm";
+    profile = quickstart_profile;
+    run =
+      (fun ?policy plan ->
+        run_quickstart ?policy ~queue_attrs:mm_attrs ~commit_policy:mm_policy
+          plan);
+  }
+
 (* ---- crash-site sweep entry points -------------------------------------- *)
 
 let fault_free = Plan.make ~seed:0 ~policy:`Fifo ~faults:[]
@@ -217,6 +240,18 @@ let quickstart_crash_sites () =
 
 let quickstart_crash_at ~site ~hit ~recover_after =
   run_quickstart ~armed:(site, hit, recover_after) fault_free
+
+let quickstart_mm_crash_sites () =
+  Crashpoint.reset ();
+  Fun.protect ~finally:Crashpoint.disable (fun () ->
+      ignore
+        (run_quickstart ~queue_attrs:mm_attrs ~commit_policy:mm_policy
+           fault_free);
+      Crashpoint.hit_counts ())
+
+let quickstart_mm_crash_at ~site ~hit ~recover_after =
+  run_quickstart ~queue_attrs:mm_attrs ~commit_policy:mm_policy
+    ~armed:(site, hit, recover_after) fault_free
 
 (* ---- buggy clerk: untagged Send, blind retry ---------------------------- *)
 
@@ -331,7 +366,7 @@ let buggy_clerk =
 
 (* ---- registry ----------------------------------------------------------- *)
 
-let all = [ quickstart; buggy_clerk ]
+let all = [ quickstart; quickstart_mm; buggy_clerk ]
 
 let by_name n = List.find_opt (fun t -> t.name = n) all
 

@@ -29,6 +29,12 @@ val quickstart : t
     tagged requests against a 2-thread counting server. Must satisfy every
     auditor under {e any} plan — a finding here is a protocol bug. *)
 
+val quickstart_mm : t
+(** {!quickstart} over a [Main_memory] request queue with adaptive group
+    commit: element payload and queue order live purely in memory, only
+    redo records hit the WAL, and recovery rebuilds queue state from the
+    redo scan. Exactly-once must hold exactly as in the stable variant. *)
+
 val buggy_clerk : t
 (** A deliberately broken client: untagged Sends and a blind re-Send on
     reply timeout with no rid check. Passes fault-free; duplicates requests
@@ -53,6 +59,15 @@ val quickstart_crash_at :
 (** Run quickstart with a one-shot crash armed at the [hit]-th reach of the
     named site: the backend disk freezes immediately, the node crashes and
     restarts [recover_after] seconds later. *)
+
+val quickstart_mm_crash_sites : unit -> (string * int) list
+(** {!quickstart_crash_sites} for the main-memory variant — the site set
+    differs (adaptive commit seals change sync boundaries). *)
+
+val quickstart_mm_crash_at :
+  site:string -> hit:int -> recover_after:float -> outcome
+(** {!quickstart_crash_at} over the main-memory request queue: redo-only
+    recovery must still deliver exactly-once at every crash site. *)
 
 (** {1 Recorded runs}
 

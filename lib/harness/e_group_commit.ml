@@ -28,12 +28,17 @@ type row = {
   syncs_per_commit : float;
   commit_p50 : float;
   commit_p99 : float;
+  seals : (string * int) list;
 }
 
 let policy_name = function
   | Group_commit.Immediate -> "immediate"
   | Group_commit.Batch { max_delay; max_batch } ->
     Printf.sprintf "batch (%.1fms/%d)" (max_delay *. 1000.0) max_batch
+  | Group_commit.Adaptive { max_delay; max_batch } ->
+    Printf.sprintf "adaptive (%.1fms/%d)" (max_delay *. 1000.0) max_batch
+
+let seal_reasons = [ "full"; "timeout"; "idle"; "rate"; "immediate" ]
 
 let one_run ~policy ~servers ~jobs ~sync_latency =
   Rrq_obs.reset ();
@@ -96,9 +101,19 @@ let one_run ~policy ~servers ~jobs ~sync_latency =
                  else 0.0);
               commit_p50 = Histogram.percentile lat 0.50;
               commit_p99 = Histogram.percentile lat 0.99;
+              seals =
+                List.map
+                  (fun r ->
+                    ( r,
+                      Rrq_obs.Metrics.find_counter d
+                        ("gc.seal." ^ r ^ ":qm.qmlog") ))
+                  seal_reasons;
             }))
 
 let default_batch = Group_commit.Batch { max_delay = 0.0005; max_batch = 64 }
+
+let default_adaptive =
+  Group_commit.Adaptive { max_delay = 0.0005; max_batch = 64 }
 
 let run ?(jobs = 200) ?(sync_latency = 0.001) () =
   List.concat_map
@@ -107,6 +122,17 @@ let run ?(jobs = 200) ?(sync_latency = 0.001) () =
         (fun policy -> one_run ~policy ~servers ~jobs ~sync_latency)
         [ Group_commit.Immediate; default_batch ])
     [ 1; 2; 4; 8; 16 ]
+
+(* B14: every server count from 1 to 16 — the claim under test is that
+   Adaptive dominates pointwise, so the sweep must not skip the awkward
+   in-between counts where a fixed window is mistuned in both directions. *)
+let run_b14 ?(jobs = 200) ?(sync_latency = 0.001) () =
+  List.concat_map
+    (fun servers ->
+      List.map
+        (fun policy -> one_run ~policy ~servers ~jobs ~sync_latency)
+        [ Group_commit.Immediate; default_batch; default_adaptive ])
+    (List.init 16 (fun i -> i + 1))
 
 let table rows =
   let t =
@@ -137,6 +163,43 @@ let table rows =
           Printf.sprintf "%.3f" r.syncs_per_commit;
           Printf.sprintf "%.2f" (r.commit_p50 *. 1000.0);
           Printf.sprintf "%.2f" (r.commit_p99 *. 1000.0);
+        ])
+    rows;
+  t
+
+let seals_cell seals =
+  match List.filter (fun (_, n) -> n > 0) seals with
+  | [] -> "-"
+  | nz ->
+    String.concat " " (List.map (fun (r, n) -> Printf.sprintf "%s:%d" r n) nz)
+
+let table_b14 rows =
+  let t =
+    Table.create
+      ~title:
+        "B14: adaptive vs fixed vs immediate group commit - 200 dequeues, 1ms flush (sec. 10)"
+      ~columns:
+        [
+          "policy";
+          "servers";
+          "commits";
+          "commits/s";
+          "syncs/commit";
+          "p50 commit (ms)";
+          "seals";
+        ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          r.policy;
+          string_of_int r.servers;
+          string_of_int r.commits;
+          Printf.sprintf "%.0f" r.commits_per_sec;
+          Printf.sprintf "%.3f" r.syncs_per_commit;
+          Printf.sprintf "%.2f" (r.commit_p50 *. 1000.0);
+          seals_cell r.seals;
         ])
     rows;
   t

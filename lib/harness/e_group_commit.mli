@@ -20,10 +20,16 @@ type row = {
   syncs_per_commit : float;  (** Device flushes per committed dequeue. *)
   commit_p50 : float;  (** Median dequeue commit latency (virtual s). *)
   commit_p99 : float;
+  seals : (string * int) list;
+      (** Group-commit seal counts by reason (full/timeout/idle/rate/
+          immediate) during the drain — see [Group_commit.seal_counts]. *)
 }
 
 val default_batch : Rrq_wal.Group_commit.policy
 (** 0.5ms accumulation window, 64-commit batches. *)
+
+val default_adaptive : Rrq_wal.Group_commit.policy
+(** Adaptive sealing, capped at a 0.5ms window and 64-commit batches. *)
 
 val one_run :
   policy:Rrq_wal.Group_commit.policy ->
@@ -36,4 +42,14 @@ val run : ?jobs:int -> ?sync_latency:float -> unit -> row list
 (** Sweep servers in [1; 2; 4; 8; 16] under both policies. Defaults: 200
     jobs, 1ms per device flush. *)
 
+val run_b14 : ?jobs:int -> ?sync_latency:float -> unit -> row list
+(** B14: sweep every server count in [1..16] under [Immediate],
+    {!default_batch} and {!default_adaptive}. The claim under test:
+    adaptive commits/s >= max(immediate, batch) at every point, and
+    within 5% of immediate at one server. *)
+
 val table : row list -> Rrq_util.Table.t
+
+val table_b14 : row list -> Rrq_util.Table.t
+(** Like {!table} but with a seal-reason column, so [--json] rows carry
+    the seal counters. *)

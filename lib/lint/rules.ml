@@ -26,9 +26,10 @@ let all =
        route time through Rrq_sim.Sched and randomness through Rrq_util.Rng"
     );
     ( "R3", "layering",
-      "no direct Disk mutation outside lib/storage + lib/wal, and no raw \
-       WAL/group-commit appends or Element-state writes outside the \
-       resource-manager layers (lib/wal, lib/txn, lib/qm, lib/kvdb)" );
+      "no direct Disk mutation outside lib/storage + lib/wal, no raw \
+       WAL/group-commit appends or redo-record construction outside the \
+       resource-manager layers (lib/wal, lib/txn, lib/qm, lib/kvdb), and \
+       no Element payload/state writes outside lib/qm" );
     ( "R4", "txn-pairing",
       "an item that calls begin_txn must also reach both a commit and an \
        abort (the with_txn shape): a missing abort path leaks the \
@@ -192,7 +193,8 @@ let layers =
     {
       l_mod = "Disk";
       l_funcs =
-        [ "open_file"; "append"; "sync"; "sync_all"; "replace_atomic"; "delete" ];
+        [ "open_file"; "append"; "append_i64"; "append_sub"; "sync";
+          "sync_all"; "replace_atomic"; "delete"; "read_page"; "write_page" ];
       l_allowed = [ "lib/storage/"; "lib/wal/" ];
       l_what = "direct disk mutation";
       l_hint =
@@ -241,16 +243,46 @@ let r3_check_ident ctx loc comps =
       layers
 
 (* Qm state is also mutated by writing [Element] record fields directly
-   (status, tries, ...); outside lib/qm that bypasses the deferred-update
-   path entirely. *)
+   (status, delivery_count, abort_code); outside lib/qm that bypasses the
+   deferred-update path entirely. Matched both qualified
+   ([el.Element.status <- ...]) and — for the field names unique to
+   Element — bare ([el.delivery_count <- ...] under an open). *)
+let element_only_fields = [ "delivery_count"; "abort_code" ]
+
 let r3_check_setfield ctx loc lid =
   let comps = flatten lid in
-  if List.mem "Element" comps && not (under [ "lib/qm/" ] ctx.file) then
+  let _, f = last_two comps in
+  if
+    (List.mem "Element" comps || List.mem f element_only_fields)
+    && not (under [ "lib/qm/" ] ctx.file)
+  then
     emit ctx ~rule:"R3" ~rule_name:"layering" ~loc
       ~message:"direct Element state mutation outside lib/qm"
       ~hint:
         "queue-element state changes only via the QM's transactional \
          operations (enqueue/dequeue/kill), which log them for recovery"
+
+(* Redo records are the recovery contract: only the WAL and the
+   resource-manager layers may fabricate them. A redo constructed anywhere
+   else would describe an update no RM's apply/recovery path owns. *)
+let redo_ctors =
+  [
+    "RCreate"; "REnq"; "RDeq"; "RKill"; "RBump"; "RMove_error"; "RRegister";
+    "RDeregister"; "RSet_last"; "RIncarnation"; "RDestroy"; "RSet_stopped";
+    "RAlter";
+  ]
+
+let r3_check_construct ctx loc lid =
+  let _, c = last_two (flatten lid) in
+  if List.mem c redo_ctors && not (under rm_dirs ctx.file) then
+    emit ctx ~rule:"R3" ~rule_name:"layering" ~loc
+      ~message:
+        (Printf.sprintf "redo-record emission (%s) outside %s" c
+           (String.concat ", " rm_dirs))
+      ~hint:
+        "redo records are owned by the WAL and resource-manager layers; \
+         express the update as a transactional QM/KVDB operation instead \
+         of logging it by hand"
 
 (* ---- R4: txn pairing -------------------------------------------------- *)
 
@@ -339,6 +371,8 @@ let make_iterator ctx =
     | Parsetree.Pexp_match (_, cases) -> List.iter (r1_exception_case ctx) cases
     | Parsetree.Pexp_setfield (_, lid, _) ->
       r3_check_setfield ctx e.Parsetree.pexp_loc lid.Location.txt
+    | Parsetree.Pexp_construct (lid, _) ->
+      r3_check_construct ctx e.Parsetree.pexp_loc lid.Location.txt
     | _ -> ());
     super.expr self e
   in

@@ -99,7 +99,9 @@ module Event : sig
     | Txn_abort of { tm : string; txid : string }
     | Wal_append of { wal : string; lsn : int; bytes : int }
     | Wal_force of { wal : string; lsn : int }
-    | Batch_seal of { wal : string; batch : int }
+    | Batch_seal of { wal : string; batch : int; reason : string }
+        (** A group-commit batch sealed: [batch] committers covered by one
+            sync, [reason] one of full/timeout/idle/rate/immediate. *)
     | Crashpoint_fired of { site : string; hit : int }
     | Client_fsm of {
         client : string;

@@ -8,7 +8,7 @@ module Txid = Rrq_txn.Txid
 module Cond = Rrq_sim.Cond
 
 type wait = No_wait | Block | Timeout of float
-type durability = Stable | Volatile
+type durability = Stable | Volatile | Main_memory
 
 type attrs = {
   durability : durability;
@@ -51,11 +51,27 @@ exception Conflict of string
 exception Stopped of string
 
 (* Elements sorted by (priority desc, enq_time, eid): Map ascending order is
-   dequeue order. *)
+   dequeue order. The compare is written out monomorphically — the generic
+   structural compare walks the tuple through the runtime representation on
+   every Map operation, which shows up on the enqueue/dequeue hot path. *)
 module Emap = Map.Make (struct
   type t = int * float * int64
 
-  let compare = compare
+  let compare (p1, t1, e1) (p2, t2, e2) =
+    let c = Int.compare p1 p2 in
+    if c <> 0 then c
+    else
+      let c = Float.compare t1 t2 in
+      if c <> 0 then c else Int64.compare e1 e2
+end)
+
+(* Eid-keyed index: same reasoning, a direct int64 hash instead of the
+   polymorphic one. *)
+module Eidtbl = Hashtbl.Make (struct
+  type t = int64
+
+  let equal = Int64.equal
+  let hash e = Int64.to_int e land max_int
 end)
 
 type queue = {
@@ -67,6 +83,10 @@ type queue = {
   mutable n_deq : int;
   mutable alerted : bool;
   mutable stopped : bool;
+  (* Disk-resident queue page of a [Stable] queue, opened lazily on its
+     first committed element update. [Main_memory] and [Volatile] queues
+     never have one. *)
+  mutable qstore : Disk.file option;
 }
 
 type reg = {
@@ -101,7 +121,7 @@ type t = {
   wal : Wal.t;
   gc : Group_commit.t;
   queues : (string, queue) Hashtbl.t;
-  index : (int64, string * Element.t) Hashtbl.t;
+  index : (string * Element.t) Eidtbl.t;
   regs : (string * string, reg) Hashtbl.t;
   locks : Lock.t;
   workspaces : (Txid.t, ws) Hashtbl.t;
@@ -115,12 +135,24 @@ type t = {
   mutable clock : unit -> float;
   mutable internal_seq : float;
   mutable auto_n : int;
+  (* Reused by the main-memory commit encode: one buffer per QM instead of
+     one fresh encoder + string per record. Commit paths fill and hand it
+     to [Group_commit.append_enc] without yielding in between. *)
+  scratch : Codec.encoder;
+  auto_origin : string; (* qm_name ^ "!auto", hoisted off the commit path *)
+  (* Page image buffer for the stable queue store's read-modify-write. *)
+  page : Bytes.t;
+  (* One-slot workspace cache: the single open transaction of the default
+     auto-commit flow bypasses the Txid-keyed [workspaces] table entirely.
+     Invariant: a cached workspace is NOT in the table. *)
+  mutable ws_cache : (Txid.t * ws) option;
 }
 
 (* ---- codecs -------------------------------------------------------- *)
 
 let encode_attrs e a =
-  Codec.u8 e (match a.durability with Stable -> 0 | Volatile -> 1);
+  Codec.u8 e
+    (match a.durability with Stable -> 0 | Volatile -> 1 | Main_memory -> 2);
   Codec.int e a.retry_limit;
   Codec.option Codec.string e a.error_queue;
   Codec.option Codec.string e a.redirect_to;
@@ -128,7 +160,12 @@ let encode_attrs e a =
   Codec.bool e a.strict_fifo
 
 let decode_attrs d =
-  let durability = match Codec.get_u8 d with 0 -> Stable | _ -> Volatile in
+  let durability =
+    match Codec.get_u8 d with
+    | 0 -> Stable
+    | 2 -> Main_memory
+    | _ -> Volatile
+  in
   let retry_limit = Codec.get_int d in
   let error_queue = Codec.get_option Codec.get_string d in
   let redirect_to = Codec.get_option Codec.get_string d in
@@ -292,6 +329,7 @@ let make_queue qname qattrs =
     n_deq = 0;
     alerted = false;
     stopped = false;
+    qstore = None;
   }
 
 let default_error_queue q =
@@ -316,12 +354,12 @@ let check_alert t q =
     | None -> ()
 
 let remove_element t eid =
-  match Hashtbl.find_opt t.index eid with
+  match Eidtbl.find_opt t.index eid with
   | None -> None
   | Some (qn, el) ->
     let q = get_queue t qn in
     q.elems <- Emap.remove (Element.key el) q.elems;
-    Hashtbl.remove t.index eid;
+    Eidtbl.remove t.index eid;
     (match q.qattrs.alert_threshold with
     | Some thr when queue_depth q < thr -> q.alerted <- false
     | _ -> ());
@@ -339,7 +377,7 @@ let rec insert_element t qn el =
     insert_element t target el
   | _ ->
     q.elems <- Emap.add (Element.key el) el q.elems;
-    Hashtbl.replace t.index el.Element.eid (q.qname, el);
+    Eidtbl.replace t.index el.Element.eid (q.qname, el);
     if not t.replaying then q.n_enq <- q.n_enq + 1;
     if Rrq_obs.enabled () then
       Rrq_obs.Metrics.set_gauge
@@ -425,7 +463,7 @@ let apply t op =
     if live then Rrq_obs.Metrics.inc ("qm.kills:" ^ t.qm_name);
     ignore (remove_element t eid)
   | RBump eid -> begin
-    match Hashtbl.find_opt t.index eid with
+    match Eidtbl.find_opt t.index eid with
     | Some (_, el) ->
       el.Element.delivery_count <- el.Element.delivery_count + 1;
       if live then begin
@@ -469,7 +507,7 @@ let apply t op =
     match Hashtbl.find_opt t.queues qn with
     | None -> ()
     | Some q ->
-      Emap.iter (fun _ el -> Hashtbl.remove t.index el.Element.eid) q.elems;
+      Emap.iter (fun _ el -> Eidtbl.remove t.index el.Element.eid) q.elems;
       Hashtbl.remove t.queues qn;
       let doomed =
         Hashtbl.fold
@@ -493,33 +531,155 @@ let apply t op =
     | None -> ()
   end
 
-(* A redo is stable iff every queue it touches is stable; registration
-   records are always stable. Volatile-queue updates are applied but never
-   logged — they cost no forced writes and evaporate on crash. *)
+(* A redo is logged iff every queue it touches is recoverable (stable or
+   main-memory); registration records are always logged. Volatile-queue
+   updates are applied but never logged — they cost no forced writes and
+   evaporate on crash. Main-memory queues are logged like stable ones (the
+   redo record IS their durability), they just take the cheaper encode
+   route at commit. *)
 let redo_is_stable t = function
   | RCreate (_, _) -> true (* DDL is durable even for volatile queues *)
   | REnq (qn, _) -> begin
     match Hashtbl.find_opt t.queues qn with
-    | Some q -> q.qattrs.durability = Stable
+    | Some q -> q.qattrs.durability <> Volatile
     | None -> true
   end
   | RDeq eid | RKill eid | RBump eid | RMove_error (eid, _, _) -> begin
-    match Hashtbl.find_opt t.index eid with
-    | Some (qn, _) -> (get_queue t qn).qattrs.durability = Stable
+    match Eidtbl.find_opt t.index eid with
+    | Some (qn, _) -> (get_queue t qn).qattrs.durability <> Volatile
     | None -> true
   end
   | RRegister _ | RDeregister _ | RSet_last _ | RIncarnation -> true
   | RDestroy _ | RSet_stopped _ | RAlter _ -> true
+
+(* One classification pass per commit, resolving each op's queue durability
+   exactly once (this replaced a [List.filter] + [List.for_all] pair that
+   re-resolved every op). Returns:
+   - [any_volatile]: some op touches a volatile queue, so the logged set is
+     a strict subset of [ops] (recomputed with {!redo_is_stable} — rare);
+   - [all_mm]: every op touches a main-memory queue, making the record
+     eligible for the zero-copy scratch encode;
+   - [pages]: the element updates on [Stable] queues that owe an in-place
+     queue-page write, with their queue resolved before any effect is
+     applied (a dequeue's index entry is gone after apply). *)
+let classify_ops t ops =
+  let any_volatile = ref false in
+  let all_mm = ref (ops <> []) in
+  let pages = ref [] in
+  let on_queue qn op =
+    match Hashtbl.find_opt t.queues qn with
+    | None -> all_mm := false
+    | Some q -> begin
+      match q.qattrs.durability with
+      | Main_memory -> ()
+      | Volatile ->
+        any_volatile := true;
+        all_mm := false
+      | Stable ->
+        all_mm := false;
+        pages := (qn, op.op_redo) :: !pages
+    end
+  in
+  List.iter
+    (fun op ->
+      match op.op_redo with
+      | REnq (qn, _) -> on_queue qn op
+      | RDeq eid | RKill eid | RBump eid | RMove_error (eid, _, _) -> begin
+        match Eidtbl.find_opt t.index eid with
+        | Some (qn, _) -> on_queue qn op
+        | None -> all_mm := false
+      end
+      | RCreate _ | RRegister _ | RDeregister _ | RSet_last _ | RIncarnation
+      | RDestroy _ | RSet_stopped _ | RAlter _ -> all_mm := false)
+    ops;
+  (!any_volatile, !all_mm, List.rev !pages)
+
+(* Disk-resident queue modeling (paper secs. 2 and 10): every committed
+   element update on a [Stable] queue pays a read-modify-write of the
+   queue's 4 KiB page — read the page image back, splice the update in,
+   write the full page. This is the stable-storage traffic a conventional
+   disk-resident queue does on top of its redo record, and exactly what
+   [Main_memory] queues skip: their only stable write is the redo record
+   itself, and recovery rebuilds their state from the redo scan. The page
+   store is overwrite-in-place (bounded, one page per queue), never synced
+   as a log force, and ignored by recovery — the WAL stays authoritative. *)
+let page_size = 4096
+
+let qstore_file t qn q =
+  match q.qstore with
+  | Some f -> f
+  | None ->
+    let f = Disk.open_file (Wal.disk t.wal) (t.qm_name ^ ".qstore." ^ qn) in
+    q.qstore <- Some f;
+    f
+
+let store_write t pages =
+  List.iter
+    (fun (qn, redo) ->
+      match Hashtbl.find_opt t.queues qn with
+      | None -> () (* queue destroyed in the same transaction *)
+      | Some q ->
+        let f = qstore_file t qn q in
+        let e = t.scratch in
+        Codec.reset e;
+        (match redo with
+        | REnq (_, el) ->
+          Codec.u8 e 1;
+          Element.encode e el
+        | RDeq eid ->
+          Codec.u8 e 2;
+          Codec.i64 e eid
+        | RKill eid ->
+          Codec.u8 e 3;
+          Codec.i64 e eid
+        | RBump eid ->
+          Codec.u8 e 4;
+          Codec.i64 e eid
+        | RMove_error (eid, _, _) ->
+          Codec.u8 e 5;
+          Codec.i64 e eid
+        | RCreate _ | RRegister _ | RDeregister _ | RSet_last _
+        | RIncarnation | RDestroy _ | RSet_stopped _ | RAlter _ -> ());
+        (* read back ... *)
+        Disk.read_page f t.page;
+        (* ... modify in place ... *)
+        let len = min (Codec.length e) page_size in
+        Bytes.blit (Codec.bytes e) 0 t.page 0 len;
+        (* ... write the whole page *)
+        Disk.write_page f t.page)
+    pages
+
+(* Append one commit-point record, choosing the encode route. [all_mm]
+   records (only main-memory queues touched) are encoded into the QM's
+   scratch buffer and framed straight into the device's pending bytes — no
+   fresh encoder, no [to_string], no frame copy (this is what "no stable
+   read-back or copy on the hot path" buys in B1). Everything else keeps
+   the historical allocate-and-copy route. Both routes produce the same
+   record bytes, so replay cannot tell them apart. *)
+let append_record t kind txid_opt coordinator ops ~all_mm =
+  if all_mm then begin
+    let e = t.scratch in
+    Codec.reset e;
+    Codec.u8 e kind;
+    Codec.option Txid.encode e txid_opt;
+    Codec.string e coordinator;
+    Codec.list encode_ws_op e ops;
+    Group_commit.append_enc t.gc e
+  end
+  else Group_commit.append t.gc (encode_record kind txid_opt coordinator ops)
 
 (* ---- snapshot / recovery ------------------------------------------- *)
 
 let encode_snapshot t =
   let e = Codec.encoder () in
   Codec.int e t.incarnations;
-  (* stable queues only: volatile contents die with the process anyway *)
+  (* recoverable queues only: volatile contents die with the process
+     anyway. Main-memory queues must be included — the checkpoint deletes
+     the segments holding their redo records, so the snapshot is the
+     materialized prefix of exactly the log they recover from. *)
   let stable_queues =
     Hashtbl.fold
-      (fun _ q acc -> if q.qattrs.durability = Stable then q :: acc else acc)
+      (fun _ q acc -> if q.qattrs.durability <> Volatile then q :: acc else acc)
       t.queues []
     |> List.sort (fun a b -> compare a.qname b.qname)
   in
@@ -566,7 +726,7 @@ let restore_snapshot t snap =
     for _ = 1 to ne do
       let el = Element.decode d in
       q.elems <- Emap.add (Element.key el) el q.elems;
-      Hashtbl.replace t.index el.Element.eid (qn, el)
+      Eidtbl.replace t.index el.Element.eid (qn, el)
     done
   done;
   let stopped_queues = Codec.get_list Codec.get_string d in
@@ -629,7 +789,7 @@ let relock_prepared t =
         (fun op ->
           match op.op_redo with
           | RDeq eid -> begin
-            match Hashtbl.find_opt t.index eid with
+            match Eidtbl.find_opt t.index eid with
             | Some (qn, el) ->
               el.Element.status <- Element.Deq_pending id;
               let q = get_queue t qn in
@@ -644,13 +804,20 @@ let relock_prepared t =
     t.prepared
 
 let log_now t ops =
-  let stable = List.filter (fun op -> redo_is_stable t op.op_redo) ops in
+  let any_volatile, all_mm, pages = classify_ops t ops in
+  let stable =
+    if any_volatile then List.filter (fun op -> redo_is_stable t op.op_redo) ops
+    else ops
+  in
   (* Group-commit discipline: append, apply in memory without yielding, then
      force (which may park the fiber). *)
-  if stable <> [] then
-    Group_commit.append t.gc (encode_record k_now None "" stable);
+  if stable <> [] then append_record t k_now None "" stable ~all_mm;
   List.iter (fun op -> apply t op.op_redo) ops;
-  if stable <> [] then Group_commit.force t.gc
+  if stable <> [] then begin
+    Group_commit.force t.gc;
+    (* In-place page updates follow the log force (write-ahead rule). *)
+    if pages <> [] then store_write t pages
+  end
 
 let open_qm ?commit_policy ?(triggers = []) disk ~name:qm_name =
   let wal, recovered = Wal.open_log disk ~name:(qm_name ^ ".qmlog") in
@@ -661,7 +828,7 @@ let open_qm ?commit_policy ?(triggers = []) disk ~name:qm_name =
       wal;
       gc;
       queues = Hashtbl.create 16;
-      index = Hashtbl.create 256;
+      index = Eidtbl.create 256;
       regs = Hashtbl.create 32;
       locks = Lock.create ();
       workspaces = Hashtbl.create 16;
@@ -675,6 +842,10 @@ let open_qm ?commit_policy ?(triggers = []) disk ~name:qm_name =
       clock = (fun () -> 0.0);
       internal_seq = 0.0;
       auto_n = 0;
+      scratch = Codec.encoder ();
+      auto_origin = qm_name ^ "!auto";
+      page = Bytes.make page_size '\000';
+      ws_cache = None;
     }
   in
   List.iter
@@ -758,14 +929,39 @@ let handle_registrant h = h.h_registrant
 
 (* ---- workspaces ------------------------------------------------------ *)
 
+(* All workspace access goes through these: the one-slot [ws_cache] holds
+   the most recent transaction's workspace OUTSIDE the table, so the
+   common one-open-transaction flow (auto-commit) never pays a Txid-keyed
+   hash. A second concurrent transaction spills the cached one back into
+   the table. *)
+let ws_find t id =
+  match t.ws_cache with
+  | Some (cid, ws) when Txid.equal cid id -> Some ws
+  | _ -> Hashtbl.find_opt t.workspaces id
+
+let ws_mem t id =
+  match ws_find t id with Some _ -> true | None -> false
+
+let ws_remove t id =
+  match t.ws_cache with
+  | Some (cid, _) when Txid.equal cid id -> t.ws_cache <- None
+  | _ -> Hashtbl.remove t.workspaces id
+
+let ws_fold t f acc =
+  let acc = Hashtbl.fold f t.workspaces acc in
+  match t.ws_cache with Some (id, ws) -> f id ws acc | None -> acc
+
 let ws_of t id =
-  match Hashtbl.find_opt t.workspaces id with
+  match ws_find t id with
   | Some ws ->
     ws.activity <- t.clock ();
     ws
   | None ->
     let ws = { ops = []; activity = t.clock () } in
-    Hashtbl.add t.workspaces id ws;
+    (match t.ws_cache with
+    | Some (cid, cws) -> Hashtbl.replace t.workspaces cid cws
+    | None -> ());
+    t.ws_cache <- Some (id, ws);
     ws
 
 let add_op t id op =
@@ -829,10 +1025,12 @@ let select_ready ?rank q filter =
       q.elems None
     |> Option.map snd
 
-let take t id h ?tag ?errq q el =
+(* [reg] is the caller's already-resolved registration for [h] — dequeue
+   validates it up front, so resolving it again here would be a second
+   hash of the same key on every dequeue. *)
+let take t id h ~reg ?tag ?errq q el =
   el.Element.status <- Element.Deq_pending id;
   add_op t id { op_redo = RDeq el.Element.eid; op_errq = errq };
-  let reg = reg_of t h in
   (match tag with
   | Some tag when reg.r_stable ->
     add_op t id
@@ -869,7 +1067,7 @@ let with_lock_conflicts f =
   | Lock.Cancelled -> raise (Conflict "cancelled")
 
 let dequeue t id h ?tag ?(filter = Filter.True) ?rank ?error_queue wait =
-  ignore (reg_of t h);
+  let reg = reg_of t h in
   let q = get_queue t h.h_queue in
   if q.stopped then raise (Stopped h.h_queue);
   if q.qattrs.strict_fifo then
@@ -880,7 +1078,7 @@ let dequeue t id h ?tag ?(filter = Filter.True) ?rank ?error_queue wait =
   in
   let rec attempt () =
     match select_ready ?rank q filter with
-    | Some el -> Some (take t id h ?tag ?errq:error_queue q el)
+    | Some el -> Some (take t id h ~reg ?tag ?errq:error_queue q el)
     | None -> begin
       match wait with
       | No_wait -> None
@@ -899,29 +1097,30 @@ let dequeue t id h ?tag ?(filter = Filter.True) ?rank ?error_queue wait =
   attempt ()
 
 let dequeue_set t id hs ?tag ?(filter = Filter.True) wait =
-  List.iter (fun h -> ignore (reg_of t h)) hs;
-  let queues = List.map (fun h -> (h, get_queue t h.h_queue)) hs in
+  let queues =
+    List.map (fun h -> (h, reg_of t h, get_queue t h.h_queue)) hs
+  in
   let deadline =
     match wait with Timeout d -> Some (t.clock () +. d) | No_wait | Block -> None
   in
   let rec attempt () =
     let best =
       List.fold_left
-        (fun acc (h, q) ->
+        (fun acc (h, reg, q) ->
           match select_ready q filter with
           | None -> acc
           | Some el -> begin
             match acc with
-            | Some (_, _, best_el)
+            | Some (_, _, _, best_el)
               when Element.key best_el <= Element.key el -> acc
-            | _ -> Some (h, q, el)
+            | _ -> Some (h, reg, q, el)
           end)
         None queues
     in
     match best with
-    | Some (h, q, el) -> Some (h, take t id h ?tag q el)
+    | Some (h, reg, q, el) -> Some (h, take t id h ~reg ?tag q el)
     | None -> begin
-      let conds = List.map (fun (_, q) -> q.nonempty) queues in
+      let conds = List.map (fun (_, _, q) -> q.nonempty) queues in
       match wait with
       | No_wait -> None
       | Block ->
@@ -939,7 +1138,7 @@ let dequeue_set t id hs ?tag ?(filter = Filter.True) wait =
   attempt ()
 
 let read t eid =
-  match Hashtbl.find_opt t.index eid with
+  match Eidtbl.find_opt t.index eid with
   | Some (qn, el) ->
     if Rrq_obs.enabled () then
       Rrq_obs.Trace.emit
@@ -981,27 +1180,38 @@ let release_locks t id =
   Lock.release_all t.locks id
 
 let commit_one_phase t id =
-  match Hashtbl.find_opt t.workspaces id with
+  match ws_find t id with
   | None -> release_locks t id
   | Some ws ->
     let ops = List.rev ws.ops in
-    Hashtbl.remove t.workspaces id;
-    let stable = List.filter (fun op -> redo_is_stable t op.op_redo) ops in
-    if stable <> [] then
-      Group_commit.append t.gc (encode_record k_one_phase (Some id) "" stable);
+    ws_remove t id;
+    let any_volatile, all_mm, pages = classify_ops t ops in
+    let stable =
+      if any_volatile then
+        List.filter (fun op -> redo_is_stable t op.op_redo) ops
+      else ops
+    in
+    if stable <> [] then append_record t k_one_phase (Some id) "" stable ~all_mm;
     List.iter (fun op -> apply t op.op_redo) ops;
-    if stable <> [] then Group_commit.force t.gc;
+    if stable <> [] then begin
+      Group_commit.force t.gc;
+      if pages <> [] then store_write t pages
+    end;
     release_locks t id
 
 let prepare t id ~coordinator =
-  match Hashtbl.find_opt t.workspaces id with
+  match ws_find t id with
   | None -> true
   | Some ws ->
     let ops = List.rev ws.ops in
-    Hashtbl.remove t.workspaces id;
-    let stable = List.filter (fun op -> redo_is_stable t op.op_redo) ops in
-    Group_commit.append t.gc
-      (encode_record k_prepare (Some id) coordinator stable);
+    ws_remove t id;
+    let any_volatile, all_mm, _pages = classify_ops t ops in
+    let stable =
+      if any_volatile then
+        List.filter (fun op -> redo_is_stable t op.op_redo) ops
+      else ops
+    in
+    append_record t k_prepare (Some id) coordinator stable ~all_mm;
     Hashtbl.replace t.prepared id { p_coord = coordinator; p_ops = ops };
     Group_commit.force t.gc;
     true
@@ -1010,10 +1220,14 @@ let commit_prepared t id =
   match Hashtbl.find_opt t.prepared id with
   | None -> release_locks t id
   | Some p ->
+    (* Page targets must be resolved before apply removes dequeued
+       elements from the index. *)
+    let _, _, pages = classify_ops t p.p_ops in
     Group_commit.append t.gc (encode_record k_commit (Some id) "" []);
     List.iter (fun op -> apply t op.op_redo) p.p_ops;
     Hashtbl.remove t.prepared id;
     Group_commit.force t.gc;
+    if pages <> [] then store_write t pages;
     release_locks t id
 
 (* Returning a dequeued element to its queue after an abort: bump its retry
@@ -1022,7 +1236,7 @@ let commit_prepared t id =
 let restore_element t op =
   match op.op_redo with
   | RDeq eid -> begin
-    match Hashtbl.find_opt t.index eid with
+    match Eidtbl.find_opt t.index eid with
     | None -> []
     | Some (qn, el) ->
       let q = get_queue t qn in
@@ -1050,9 +1264,9 @@ let abort t id =
     let fixups = List.concat_map (restore_element t) ops in
     if fixups <> [] then log_now t fixups
   in
-  (match Hashtbl.find_opt t.workspaces id with
+  (match ws_find t id with
   | Some ws ->
-    Hashtbl.remove t.workspaces id;
+    ws_remove t id;
     restore (List.rev ws.ops)
   | None -> ());
   (match Hashtbl.find_opt t.prepared id with
@@ -1079,22 +1293,19 @@ let participant t =
       (fun id ->
         commit_one_phase t id;
         true);
-    p_has_work =
-      (fun id -> Hashtbl.mem t.workspaces id || Hashtbl.mem t.prepared id);
+    p_has_work = (fun id -> ws_mem t id || Hashtbl.mem t.prepared id);
     p_is_local = true;
   }
 
 let auto_commit t f =
   t.auto_n <- t.auto_n + 1;
-  let id =
-    Txid.make ~origin:(t.qm_name ^ "!auto") ~inc:t.incarnations ~n:t.auto_n
-  in
+  let id = Txid.make ~origin:t.auto_origin ~inc:t.incarnations ~n:t.auto_n in
   let t0 = if Rrq_obs.enabled () then t.clock () else 0.0 in
   match f id with
   | v ->
     (* Only count transactions that buffered work: polling an empty queue
        auto-commits too, and counting those would skew commit rates. *)
-    let worked = Hashtbl.mem t.workspaces id in
+    let worked = ws_mem t id in
     commit_one_phase t id;
     if worked && Rrq_obs.enabled () then begin
       Rrq_obs.Metrics.inc ("qm.auto_commits:" ^ t.qm_name);
@@ -1110,9 +1321,9 @@ let auto_commit t f =
 let abort_stale t ~older_than =
   let cutoff = t.clock () -. older_than in
   let stale =
-    Hashtbl.fold
+    ws_fold t
       (fun id ws acc -> if ws.activity < cutoff then id :: acc else acc)
-      t.workspaces []
+      []
   in
   List.iter
     (fun id ->
@@ -1122,14 +1333,14 @@ let abort_stale t ~older_than =
   List.length stale
 
 let kill_element t eid =
-  match Hashtbl.find_opt t.index eid with
+  match Eidtbl.find_opt t.index eid with
   | None -> false
   | Some (_, el) ->
     (match el.Element.status with
     | Element.Deq_pending id -> t.abort_cb id
     | Element.Ready -> ());
     (* The abort may have moved it to an error queue; chase the eid. *)
-    if Hashtbl.mem t.index eid then begin
+    if Eidtbl.mem t.index eid then begin
       log_now t [ { op_redo = RKill eid; op_errq = None } ];
       true
     end
@@ -1137,7 +1348,7 @@ let kill_element t eid =
 
 let kill_where t filter =
   let victims =
-    Hashtbl.fold
+    Eidtbl.fold
       (fun eid (_, el) acc -> if Filter.matches filter el then eid :: acc else acc)
       t.index []
   in

@@ -31,8 +31,12 @@
       replaces the group with new elements — the fork/join join-side.
 
     Durability follows the deferred-update discipline of {!Rrq_txn.Rm}, with
-    one QM-specific twist: updates to volatile queues are applied at commit
-    but never logged, so they cost no forced writes and vanish on crash. *)
+    two QM-specific twists: updates to volatile queues are applied at commit
+    but never logged, so they cost no forced writes and vanish on crash; and
+    main-memory queues are fully recoverable but keep element payloads and
+    queue order purely in memory — only their redo records hit the WAL,
+    through a zero-copy encode, and recovery rebuilds the queue from the
+    redo scan (the paper's §10 "queue as main-memory database" design). *)
 
 type t
 
@@ -40,7 +44,18 @@ type wait = No_wait | Block | Timeout of float
 (** Empty-queue behavior of [dequeue]: return [None] immediately, block
     until an element arrives ("notify lock", §10), or block with a bound. *)
 
-type durability = Stable | Volatile
+type durability =
+  | Stable
+      (** Logged and snapshotted, and every committed element update also
+          pays a page-granular read-modify-write of the queue's
+          disk-resident page (after the force — the write-ahead rule):
+          the historical recoverable queue at §10's disk-based price. *)
+  | Volatile  (** Applied at commit, never logged; contents die on crash. *)
+  | Main_memory
+      (** Recoverable like [Stable] — same redo records, same replay, same
+          checkpoint snapshots — but commits encode straight from a reused
+          buffer into the log device with no intermediate string, and
+          nothing on the hot path reads stable storage back. *)
 
 type attrs = {
   durability : durability;

@@ -189,32 +189,40 @@ let holds t tx ~key mode =
     | None -> false
   end
 
+(* Every commit releases, but in the default non-strict mode no QM lock is
+   ever taken — so short-circuit on table emptiness ([Hashtbl.length] is a
+   stored count) before paying any Txid-keyed hashing. *)
 let cancel_waits t tx =
-  match Hashtbl.find_opt t.waits tx with
-  | None -> ()
-  | Some (e, _) ->
-    let mine, others =
-      List.partition (fun w -> Txid.equal w.wtx tx) e.waiting
-    in
-    e.waiting <- others;
-    Hashtbl.remove t.waits tx;
-    List.iter (fun w -> ignore (Sched.wake w.waker Cancelled_by_peer)) mine;
-    pump t e
+  if Hashtbl.length t.waits > 0 then begin
+    match Hashtbl.find_opt t.waits tx with
+    | None -> ()
+    | Some (e, _) ->
+      let mine, others =
+        List.partition (fun w -> Txid.equal w.wtx tx) e.waiting
+      in
+      e.waiting <- others;
+      Hashtbl.remove t.waits tx;
+      List.iter (fun w -> ignore (Sched.wake w.waker Cancelled_by_peer)) mine;
+      pump t e
+  end
 
 let release_all t tx =
   cancel_waits t tx;
-  (match Hashtbl.find_opt t.held tx with
-  | None -> ()
-  | Some keys ->
-    Hashtbl.iter
-      (fun key () ->
-        match Hashtbl.find_opt t.table key with
-        | None -> ()
-        | Some e ->
-          e.granted <- List.filter (fun (x, _) -> not (Txid.equal x tx)) e.granted;
-          pump t e)
-      keys);
-  Hashtbl.remove t.held tx
+  if Hashtbl.length t.held > 0 then begin
+    (match Hashtbl.find_opt t.held tx with
+    | None -> ()
+    | Some keys ->
+      Hashtbl.iter
+        (fun key () ->
+          match Hashtbl.find_opt t.table key with
+          | None -> ()
+          | Some e ->
+            e.granted <-
+              List.filter (fun (x, _) -> not (Txid.equal x tx)) e.granted;
+            pump t e)
+        keys);
+    Hashtbl.remove t.held tx
+  end
 
 let transfer t ~from ~to_ =
   (match Hashtbl.find_opt t.held from with

@@ -1,18 +1,49 @@
-type encoder = Buffer.t
+(* Bytes-backed rather than [Buffer.t]: callers on the commit fast path
+   reuse one encoder ({!reset}) and hand the filled prefix to the WAL via
+   {!bytes}/{!length} without materialising an intermediate string. *)
+type encoder = { mutable buf : Bytes.t; mutable pos : int }
 
-let encoder () = Buffer.create 64
-let to_string = Buffer.contents
-let u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
-let i64 b v = Buffer.add_int64_le b v
-let int b v = i64 b (Int64.of_int v)
-let bool b v = u8 b (if v then 1 else 0)
-let float b v = i64 b (Int64.bits_of_float v)
+let encoder () = { buf = Bytes.create 64; pos = 0 }
+let reset e = e.pos <- 0
+let length e = e.pos
+let bytes e = e.buf
+let to_string e = Bytes.sub_string e.buf 0 e.pos
 
-let string b s =
-  int b (String.length s);
-  Buffer.add_string b s
+let ensure e n =
+  let need = e.pos + n in
+  if need > Bytes.length e.buf then begin
+    let cap = ref (Bytes.length e.buf * 2) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    let buf = Bytes.create !cap in
+    Bytes.blit e.buf 0 buf 0 e.pos;
+    e.buf <- buf
+  end
 
-let raw b s = Buffer.add_string b s
+let u8 e v =
+  ensure e 1;
+  Bytes.unsafe_set e.buf e.pos (Char.chr (v land 0xff));
+  e.pos <- e.pos + 1
+
+let i64 e v =
+  ensure e 8;
+  Bytes.set_int64_le e.buf e.pos v;
+  e.pos <- e.pos + 8
+
+let int e v = i64 e (Int64.of_int v)
+let bool e v = u8 e (if v then 1 else 0)
+let float e v = i64 e (Int64.bits_of_float v)
+
+let raw e s =
+  let n = String.length s in
+  ensure e n;
+  Bytes.blit_string s 0 e.buf e.pos n;
+  e.pos <- e.pos + n
+
+let string e s =
+  int e (String.length s);
+  raw e s
 
 let option f b = function
   | None -> u8 b 0

@@ -13,6 +13,19 @@ val encoder : unit -> encoder
 val to_string : encoder -> string
 (** Contents encoded so far. *)
 
+val reset : encoder -> unit
+(** Rewind to empty, keeping the underlying buffer. Commit fast paths
+    reuse one scratch encoder per log rather than allocating per record. *)
+
+val length : encoder -> int
+(** Number of bytes encoded since creation or the last {!reset}. *)
+
+val bytes : encoder -> Bytes.t
+(** The underlying buffer; only the first {!length} bytes are valid, and
+    any later encoder call may replace or overwrite it. For zero-copy
+    handoff to framing layers ([Wal.append_enc]); everyone else should
+    use {!to_string}. *)
+
 val u8 : encoder -> int -> unit
 (** Append one byte (0..255). *)
 

@@ -1,8 +1,17 @@
 module Disk = Rrq_storage.Disk
 module Sched = Rrq_sim.Sched
 module Cond = Rrq_sim.Cond
+module Codec = Rrq_util.Codec
 
-type policy = Immediate | Batch of { max_delay : float; max_batch : int }
+type policy =
+  | Immediate
+  | Batch of { max_delay : float; max_batch : int }
+  | Adaptive of { max_delay : float; max_batch : int }
+
+(* EWMA weight for inter-arrival samples. High enough to track a load
+   shift within a handful of commits, low enough that one straggler does
+   not flip the policy. *)
+let alpha = 0.3
 
 type t = {
   wal : Wal.t;
@@ -10,9 +19,21 @@ type t = {
   pol : policy;
   mutable leading : bool; (* a leader is inside its batch window / sync *)
   mutable waiters : (int * bool Sched.waker) list; (* parked followers *)
-  full : Cond.t; (* signalled when the batch reaches max_batch *)
+  full : Cond.t; (* signalled when the batch reaches the target *)
   mutable n_forces : int;
   mutable n_syncs : int;
+  (* Adaptive state: estimated commit inter-arrival (virtual seconds;
+     0 until the first pair of arrivals) and the batch-size target the
+     current leader computed from it. *)
+  mutable ewma : float;
+  mutable last_arrival : float;
+  mutable target : int;
+  (* Seal-reason counters (also exported via [Rrq_obs.Metrics]). *)
+  mutable s_full : int;
+  mutable s_timeout : int;
+  mutable s_idle : int;
+  mutable s_rate : int;
+  mutable s_immediate : int;
 }
 
 let create ?(policy = Immediate) wal =
@@ -25,13 +46,31 @@ let create ?(policy = Immediate) wal =
     full = Cond.create ();
     n_forces = 0;
     n_syncs = 0;
+    ewma = 0.0;
+    last_arrival = -1.0;
+    target = 1;
+    s_full = 0;
+    s_timeout = 0;
+    s_idle = 0;
+    s_rate = 0;
+    s_immediate = 0;
   }
 
 let policy t = t.pol
 let forces t = t.n_forces
 let syncs t = t.n_syncs
 
+let seal_counts t =
+  [
+    ("full", t.s_full);
+    ("timeout", t.s_timeout);
+    ("idle", t.s_idle);
+    ("rate", t.s_rate);
+    ("immediate", t.s_immediate);
+  ]
+
 let append t payload = Wal.append t.wal payload
+let append_enc t e = Wal.append_enc t.wal e
 
 (* One physical flush, charged against the disk's device model when we can
    sleep (i.e. inside a fiber): the device serves one flush at a time, so
@@ -59,15 +98,88 @@ let wake_covered t =
   List.iter (fun (_, w) -> ignore (Sched.wake w true)) (List.rev ready);
   List.length ready
 
+let reason_name = function
+  | `Full -> "full"
+  | `Timeout -> "timeout"
+  | `Idle -> "idle"
+  | `Rate -> "rate"
+  | `Immediate -> "immediate"
+
 (* A sealed batch = one physical sync amortised over [n] committers. *)
-let observe_batch t n =
+let observe_batch t reason n =
+  (match reason with
+  | `Full -> t.s_full <- t.s_full + 1
+  | `Timeout -> t.s_timeout <- t.s_timeout + 1
+  | `Idle -> t.s_idle <- t.s_idle + 1
+  | `Rate -> t.s_rate <- t.s_rate + 1
+  | `Immediate -> t.s_immediate <- t.s_immediate + 1);
   if Rrq_obs.enabled () then begin
     let wal = Wal.name t.wal in
+    let reason = reason_name reason in
+    Rrq_obs.Metrics.inc ("gc.seal." ^ reason ^ ":" ^ wal);
     Rrq_obs.Metrics.observe ("gc.batch:" ^ wal) (float_of_int n);
-    Rrq_obs.Trace.emit (Rrq_obs.Event.Batch_seal { wal; batch = n })
+    Rrq_obs.Trace.emit (Rrq_obs.Event.Batch_seal { wal; batch = n; reason })
+  end
+
+(* Feed one commit arrival into the inter-arrival estimate. Only the
+   virtual clock is sampled, and only inside a fiber — outside the
+   simulator there is no meaningful arrival spacing (and rrq_lint R2
+   forbids ambient time anyway). Same-instant arrivals clamp to a tiny
+   positive dt: they mean "infinite rate", not "no estimate". *)
+let sample_arrival t =
+  let now = Sched.clock () in
+  if t.last_arrival >= 0.0 then begin
+    let dt = Float.max (now -. t.last_arrival) 1e-9 in
+    t.ewma <-
+      (if t.ewma <= 0.0 then dt
+       else (alpha *. dt) +. ((1.0 -. alpha) *. t.ewma))
+  end;
+  t.last_arrival <- now
+
+(* Park the caller until a leader's sync covers [lsn]. Boarding may seal
+   the batch early when it reaches the leader's target. *)
+let board t lsn =
+  if List.length t.waiters + 2 >= t.target then Cond.signal t.full;
+  ignore (Sched.suspend (fun _ w -> t.waiters <- (lsn, w) :: t.waiters))
+
+(* Adaptive sealing: decide how long (if at all) this leader should hold
+   the batch open, wait accordingly, and report why the batch sealed.
+
+   The estimate [expected = sync_latency / ewma] is the number of commits
+   that would arrive while one flush occupies the device. Below ~1.5 the
+   device is keeping up — batching would only add latency, so seal
+   immediately ([`Idle]; this is what restores the 1-server Immediate
+   throughput that a fixed window gives away). Above it, the device is
+   the bottleneck: hold the batch for [target = min expected max_batch]
+   boarders, with a window bounded by both [max_delay] and the time the
+   estimate says those boarders need to show up. *)
+let adaptive_seal t ~max_delay ~max_batch =
+  let lat = Disk.sync_latency t.disk in
+  let expected = if t.ewma > 0.0 then lat /. t.ewma else 0.0 in
+  if expected < 1.5 then begin
+    t.target <- 1;
+    `Idle
+  end
+  else begin
+    let target = min max_batch (max 2 (int_of_float expected)) in
+    t.target <- target;
+    let boarded = List.length t.waiters + 1 in
+    if boarded >= target then (if boarded >= max_batch then `Full else `Rate)
+    else begin
+      let window =
+        Float.min max_delay (float_of_int (target - boarded) *. t.ewma *. 2.0)
+      in
+      if window > 0.0 && Cond.wait_timeout t.full window then begin
+        if List.length t.waiters + 1 >= max_batch then `Full else `Rate
+      end
+      else `Timeout
+    end
   end
 
 let force t =
+  (match t.pol with
+  | Adaptive _ when Sched.in_fiber () -> sample_arrival t
+  | _ -> ());
   let lsn = Wal.appended_lsn t.wal in
   if lsn > Wal.durable_lsn t.wal && not (Disk.is_dead t.disk) then begin
     t.n_forces <- t.n_forces + 1;
@@ -76,28 +188,46 @@ let force t =
     match t.pol with
     | Immediate ->
       do_sync t;
-      observe_batch t 1
-    | Batch _ when not (Sched.in_fiber ()) ->
+      observe_batch t `Immediate 1
+    | (Batch _ | Adaptive _) when not (Sched.in_fiber ()) ->
       do_sync t;
-      observe_batch t 1
+      observe_batch t `Immediate 1
     | Batch { max_delay; max_batch } ->
       if t.leading then begin
         (* Follower: the leader's sync will cover our records (it flushes
            everything appended up to the moment it runs). Park. *)
-        if List.length t.waiters + 2 >= max_batch then Cond.signal t.full;
-        ignore
-          (Sched.suspend (fun _ w -> t.waiters <- (lsn, w) :: t.waiters))
+        t.target <- max_batch;
+        board t lsn
       end
       else begin
         t.leading <- true;
+        t.target <- max_batch;
         (* Accumulation window: give concurrent committers a chance to
            board; a full batch cuts it short. *)
-        if max_delay > 0.0 && List.length t.waiters + 1 < max_batch then
-          ignore (Cond.wait_timeout t.full max_delay);
+        let reason =
+          if max_delay > 0.0 && List.length t.waiters + 1 < max_batch then
+            (if Cond.wait_timeout t.full max_delay then `Full else `Timeout)
+          else `Full
+        in
         do_sync t;
         t.leading <- false;
         let covered = wake_covered t in
-        observe_batch t (covered + 1)
+        observe_batch t reason (covered + 1)
+      end
+    | Adaptive { max_delay; max_batch } ->
+      if t.leading then board t lsn
+      else begin
+        (* Leader even when sealing immediately: committers arriving while
+           our sync occupies the device park as followers and are covered
+           by it (the sync flushes everything appended before it runs), so
+           an idle-mode Adaptive log never does worse than Immediate and
+           picks up piggybackers for free. *)
+        t.leading <- true;
+        let reason = adaptive_seal t ~max_delay ~max_batch in
+        do_sync t;
+        t.leading <- false;
+        let covered = wake_covered t in
+        observe_batch t reason (covered + 1)
       end
   end
 

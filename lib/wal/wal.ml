@@ -12,6 +12,10 @@ type t = {
      buffered this incarnation, [durable_lsn] those known forced. *)
   mutable appended_lsn : int;
   mutable durable_lsn : int;
+  (* Crash-point site names, precomputed: [sync] runs per commit batch and
+     must not rebuild these strings every time. *)
+  site_sync : string;
+  site_synced : string;
 }
 
 type recovered = { snapshot : string option; records : string list }
@@ -19,11 +23,11 @@ type recovered = { snapshot : string option; records : string list }
 let seg_name base n = Printf.sprintf "%s.seg%d" base n
 let ckpt_name base = base ^ ".ckpt"
 
-(* Frame: payload length (i64) | fnv1a64 of payload (i64) | payload. *)
+(* Frame: payload length (i64) | frame64 of payload (i64) | payload. *)
 let frame payload =
   let e = Codec.encoder () in
   Codec.int e (String.length payload);
-  Codec.i64 e (Checksum.fnv1a64 payload);
+  Codec.i64 e (Checksum.frame64 payload);
   Codec.raw e payload;
   Codec.to_string e
 
@@ -51,7 +55,7 @@ let scan_segment contents =
       end
       else begin
         let payload = String.sub contents (!pos + 16) len in
-        if Checksum.fnv1a64 payload <> sum then begin
+        if Checksum.frame64 payload <> sum then begin
           clean := false;
           continue_ := false
         end
@@ -135,6 +139,8 @@ let open_log disk ~name:base =
       since_ckpt = List.length records;
       appended_lsn = 0;
       durable_lsn = 0;
+      site_sync = "wal.sync:" ^ base;
+      site_synced = "wal.synced:" ^ base;
     }
   in
   (t, { snapshot; records })
@@ -156,13 +162,34 @@ let append t payload =
          { wal = t.base; lsn = t.appended_lsn; bytes = String.length payload })
   end
 
+(* Same frame layout as {!append}, written straight from the encoder's
+   buffer into the device's pending queue: no [to_string] copy, no frame
+   buffer, and the checksum runs over bytes in place. This is the
+   main-memory commit fast path — the record is still framed, checksummed
+   and replayable exactly like any other. *)
+let append_enc t e =
+  let len = Codec.length e in
+  let buf = Codec.bytes e in
+  Disk.append_i64 t.file (Int64.of_int len);
+  Disk.append_i64 t.file (Checksum.frame64_bytes buf ~pos:0 ~len);
+  Disk.append_sub t.file buf ~pos:0 ~len;
+  t.since_ckpt <- t.since_ckpt + 1;
+  t.appended_lsn <- t.appended_lsn + 1;
+  if Rrq_obs.enabled () then begin
+    Rrq_obs.Metrics.inc ("wal.appends:" ^ t.base);
+    Rrq_obs.Metrics.inc ~by:len ("wal.bytes:" ^ t.base);
+    Rrq_obs.Trace.emit
+      (Rrq_obs.Event.Wal_append
+         { wal = t.base; lsn = t.appended_lsn; bytes = len })
+  end
+
 (* [Disk.sync] flushes everything buffered, so on success the durable LSN
    jumps to the append LSN — including records appended by other fibers
    while a batched flusher held the device. If the disk died (crash-point
    injection), the flush did not persist and [durable_lsn] must not move:
    group commit uses that to decide which waiters it may acknowledge. *)
 let sync t =
-  Rrq_sim.Crashpoint.reach ("wal.sync:" ^ t.base);
+  Rrq_sim.Crashpoint.reach t.site_sync;
   Disk.sync t.file;
   if not (Disk.is_dead t.disk) then t.durable_lsn <- t.appended_lsn;
   if Rrq_obs.enabled () then begin
@@ -170,7 +197,7 @@ let sync t =
     Rrq_obs.Trace.emit
       (Rrq_obs.Event.Wal_force { wal = t.base; lsn = t.durable_lsn })
   end;
-  Rrq_sim.Crashpoint.reach ("wal.synced:" ^ t.base)
+  Rrq_sim.Crashpoint.reach t.site_synced
 
 let append_sync t payload =
   append t payload;

@@ -30,6 +30,13 @@ val name : t -> string
 val append : t -> string -> unit
 (** Buffer a record at the log tail. Not durable until {!sync}. *)
 
+val append_enc : t -> Rrq_util.Codec.encoder -> unit
+(** Buffer the encoder's contents as one record, writing the frame
+    directly from the encoder's buffer — no intermediate string. The
+    record is framed and checksummed identically to {!append}; callers
+    typically {!Rrq_util.Codec.reset} and refill a scratch encoder per
+    commit. *)
+
 val sync : t -> unit
 (** Force all buffered records to stable storage. On success this advances
     {!durable_lsn} to {!appended_lsn}; if the disk is dead (crash-point

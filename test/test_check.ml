@@ -232,6 +232,67 @@ let test_crash_site_sweep () =
   Alcotest.(check (list string)) "every crash point recovered cleanly" []
     (List.rev !failures)
 
+(* ---- main-memory queue mode under crash sweeps --------------------------- *)
+
+let starts_with prefix site =
+  String.length site >= String.length prefix
+  && String.sub site 0 (String.length prefix) = prefix
+
+(* The redo-only recovery claim behind the main-memory fast path: with the
+   request queue in [Main_memory] durability, element payload and order
+   live purely in memory, only redo records hit the WAL, and recovery
+   rebuilds queue state from the redo scan. Crashing at every WAL sync
+   boundary (before and after the force) and every 2PC decision point must
+   still leave exactly-once intact — the same invariant the stable sweep
+   checks, now with no stable queue image to fall back on. *)
+let mm_swept_prefixes = [ "wal.sync:"; "wal.synced:"; "tm.prepared"; "tm.decided" ]
+
+let test_mm_crash_sweep () =
+  let failures = ref [] in
+  let visited =
+    C.Sweep.crash_sites
+      ~only:(fun site -> List.exists (fun p -> starts_with p site) mm_swept_prefixes)
+      ~probe:(fun () ->
+        let clean = C.Plan.make ~seed:0 ~policy:`Fifo ~faults:[] in
+        ignore (C.Scenario.run C.Scenario.quickstart_mm clean))
+      ~at:(fun ~site ~hit ->
+        let o =
+          C.Scenario.quickstart_mm_crash_at ~site ~hit ~recover_after:1.0
+        in
+        if C.Scenario.failed o then
+          failures :=
+            Printf.sprintf "%s hit %d: %s" site hit
+              (C.Audit.findings_to_string o.C.Scenario.findings)
+            :: !failures)
+      ()
+  in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "probe reaches %s sites in mm mode" p)
+        true
+        (List.exists (fun (site, _) -> starts_with p site) visited))
+    mm_swept_prefixes;
+  let combos = List.fold_left (fun a (_, n) -> a + n) 0 visited in
+  Alcotest.(check bool)
+    (Printf.sprintf "swept a substantial mm site space (%d combos)" combos)
+    true (combos >= 20);
+  Alcotest.(check (list string))
+    "every mm crash point recovered to exactly-once" []
+    (List.rev !failures)
+
+(* The explorer over the mm scenario: random fault plans (crashes,
+   partitions, delays) against the main-memory queue must pass every
+   auditor, same as the stable quickstart. *)
+let test_mm_explore () =
+  (match C.Scenario.by_name "quickstart-mm" with
+  | Some s -> Alcotest.(check string) "registered" "quickstart-mm" s.C.Scenario.name
+  | None -> Alcotest.fail "quickstart-mm not in the scenario registry");
+  let report = C.Explore.run ~budget:100 ~seed:2 C.Scenario.quickstart_mm in
+  Alcotest.(check int) "explored the whole budget" 100 report.C.Explore.explored;
+  Alcotest.(check int) "every schedule passed" 100 report.C.Explore.passed;
+  Alcotest.(check bool) "no failure" true (report.C.Explore.failure = None)
+
 (* ---- recorded runs: the observability layer under the checker ----------- *)
 
 (* A recorded fault-free run must produce a non-empty trace that the
@@ -346,6 +407,12 @@ let () =
         ] );
       ( "crashpoints",
         [ Alcotest.test_case "exhaustive site sweep" `Slow test_crash_site_sweep ] );
+      ( "main-memory",
+        [
+          Alcotest.test_case "mm crash sweep: wal.sync/synced, tm.prepared/decided"
+            `Slow test_mm_crash_sweep;
+          Alcotest.test_case "mm explorer plan suite" `Slow test_mm_explore;
+        ] );
       ( "recorded",
         [
           Alcotest.test_case "fault-free run audited from the trace" `Quick

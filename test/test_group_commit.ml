@@ -167,6 +167,48 @@ let test_acked_commit_sweep_torn () =
       (drain_with_crash ~torn:true ~servers ~jobs ~point:(Some point))
   done
 
+(* ---- adaptive policy: low-concurrency regression fix ------------------- *)
+
+(* The B12 regression this PR fixes: a fixed batch window at 1 server costs
+   a window's worth of latency per commit (667 vs 1000 commits/s at 0.5ms
+   window over a 1ms flush). Adaptive sealing must detect the idle device
+   and degrade to immediate forces: 1-server throughput within 5% of the
+   Immediate baseline, while still batching (beating Immediate) once
+   enough servers contend for the device. *)
+let test_adaptive_single_server_parity () =
+  let run policy =
+    Rrq_harness.E_group_commit.one_run ~policy ~servers:1 ~jobs:200
+      ~sync_latency:0.001
+  in
+  let imm = run Group_commit.Immediate in
+  let ada = run Rrq_harness.E_group_commit.default_adaptive in
+  let fixed = run Rrq_harness.E_group_commit.default_batch in
+  Alcotest.(check bool)
+    (Printf.sprintf "fixed window regresses at 1 server (%.0f < %.0f)"
+       fixed.commits_per_sec imm.commits_per_sec)
+    true
+    (fixed.commits_per_sec < 0.95 *. imm.commits_per_sec);
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive within 5%% of immediate (%.0f vs %.0f)"
+       ada.commits_per_sec imm.commits_per_sec)
+    true
+    (ada.commits_per_sec >= 0.95 *. imm.commits_per_sec)
+
+let test_adaptive_batches_under_load () =
+  let run policy servers =
+    Rrq_harness.E_group_commit.one_run ~policy ~servers ~jobs:200
+      ~sync_latency:0.001
+  in
+  let imm = run Group_commit.Immediate 8 in
+  let ada = run Rrq_harness.E_group_commit.default_adaptive 8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive batches at 8 servers (%.0f >= %.0f)"
+       ada.commits_per_sec imm.commits_per_sec)
+    true
+    (ada.commits_per_sec >= imm.commits_per_sec);
+  Alcotest.(check bool) "adaptive syncs per commit below 1 under load" true
+    (ada.syncs_per_commit < 1.0)
+
 (* ---- 2PC decision durability under the batched force ------------------- *)
 
 (* A two-RM transaction committed under the Batch policy: if the
@@ -241,6 +283,13 @@ let () =
           Alcotest.test_case "force outside fiber" `Quick
             test_force_outside_fiber;
           Alcotest.test_case "force is idempotent" `Quick test_force_idempotent;
+        ] );
+      ( "adaptive",
+        [
+          Alcotest.test_case "1-server commits/s within 5% of immediate"
+            `Quick test_adaptive_single_server_parity;
+          Alcotest.test_case "batches under load" `Quick
+            test_adaptive_batches_under_load;
         ] );
       ( "crashpoints",
         [

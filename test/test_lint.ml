@@ -79,6 +79,17 @@ let r3_cases =
     ( "fires: Element field write outside qm",
       fires "R3" ~file:"lib/core/fixture.ml"
         "let f el id = el.Element.status <- Element.Deq_pending id" );
+    ( "fires: Disk.write_page outside storage/wal",
+      fires "R3" ~file:"lib/qm/fixture.ml" "let f d p = Disk.write_page d p" );
+    ( "fires: bare Element-only field write outside qm",
+      fires "R3" ~file:"lib/core/fixture.ml"
+        "let f el = el.delivery_count <- el.delivery_count + 1" );
+    ( "fires: redo-record emission outside wal/rm",
+      fires "R3" ~file:"lib/core/fixture.ml"
+        "let f el = log_raw (REnq (\"q\", el))" );
+    ( "fires: qualified redo emission outside wal/rm",
+      fires "R3" ~file:"lib/harness/fixture.ml"
+        "let f eid = log_raw (Qm.RDeq eid)" );
     ( "silent: Disk.append inside wal",
       silent "R3" ~file:"lib/wal/fixture.ml" "let f d = Disk.append d \"x\"" );
     ( "silent: Wal.append inside txn",
@@ -88,6 +99,14 @@ let r3_cases =
     ( "silent: Element field write inside qm",
       silent "R3" ~file:"lib/qm/fixture.ml"
         "let f el id = el.Element.status <- Element.Deq_pending id" );
+    ( "silent: bare Element-only field write inside qm",
+      silent "R3" ~file:"lib/qm/fixture.ml"
+        "let f el = el.delivery_count <- el.delivery_count + 1" );
+    ( "silent: redo emission inside qm",
+      silent "R3" ~file:"lib/qm/fixture.ml"
+        "let f el = log_raw (REnq (\"q\", el))" );
+    ( "silent: unrelated constructor outside rm dirs",
+      silent "R3" ~file:"lib/core/fixture.ml" "let f x = Result (x, 0)" );
   ]
 
 (* ---- R4: transaction pairing ------------------------------------------- *)

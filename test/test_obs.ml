@@ -195,7 +195,7 @@ let all_variants =
         Txn_abort { tm = s; txid = s };
         Wal_append { wal = s; lsn = 7; bytes = 123 };
         Wal_force { wal = s; lsn = 0 };
-        Batch_seal { wal = s; batch = 9 };
+        Batch_seal { wal = s; batch = 9; reason = "rate" };
         Crashpoint_fired { site = s; hit = 3 };
         Client_fsm { client = s; from_state = "Idle"; event = s; to_state = "Sent" };
         Clerk_send { client = s; rid = s; eid = 5L };
