@@ -1,6 +1,6 @@
 # Convenience targets; dune does the real work. See doc/CI.md.
 
-.PHONY: all build test quick-test lint check sim stats bench bench-smoke clean
+.PHONY: all build test quick-test lint lint-graph witness check sim stats bench bench-smoke clean
 
 all: build
 
@@ -17,6 +17,22 @@ quick-test:
 # `--json` output: dune exec bin/rrq_lint.exe -- --json --baseline lint.baseline lib
 lint:
 	dune exec bin/rrq_lint.exe -- --baseline lint.baseline lib
+
+# Call graph and static lock-order graph as Graphviz under doc/; rendered
+# to SVG when the dot tool is installed.
+lint-graph:
+	dune exec bin/rrq_lint.exe -- --baseline lint.baseline --dot doc lib
+	@if command -v dot >/dev/null 2>&1; then \
+	  dot -Tsvg doc/callgraph.dot -o doc/callgraph.svg; \
+	  dot -Tsvg doc/lockorder.dot -o doc/lockorder.svg; \
+	  echo "rendered doc/callgraph.svg and doc/lockorder.svg"; \
+	else echo "dot not installed; wrote .dot files only"; fi
+
+# The runtime lock-order witness alone (also runs as part of `dune
+# runtest`): observed acquisition-order edges must be contained in the
+# static R7 lock-order graph.
+witness:
+	dune exec bin/rrq_witness.exe
 
 # The simulation tester alone: explored schedules + crash-site sweep.
 sim:

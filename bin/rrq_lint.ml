@@ -8,13 +8,15 @@ module Rules = Rrq_lint.Rules
 
 let usage () =
   print_string
-    "usage: rrq_lint [--json] [--baseline FILE] [--list-rules] [PATH...]\n\n\
+    "usage: rrq_lint [--json] [--baseline FILE] [--dot DIR] [--list-rules] \
+     [PATH...]\n\n\
      Static analysis for transaction, durability and determinism\n\
      discipline. PATHs (default: lib) are .ml/.mli files or directories\n\
      walked recursively. Exit status is 0 iff no finding survives the\n\
      baseline and no baseline entry is stale.\n\n\
      --json           machine-readable report on stdout\n\
      --baseline FILE  suppression baseline (entries: `RULE path item  # why')\n\
+     --dot DIR        write callgraph.dot and lockorder.dot into DIR\n\
      --list-rules     print the rule set and exit\n"
 
 let list_rules () =
@@ -25,6 +27,7 @@ let list_rules () =
 let () =
   let json = ref false in
   let baseline = ref None in
+  let dot_dir = ref None in
   let paths = ref [] in
   let rec parse = function
     | [] -> ()
@@ -36,6 +39,12 @@ let () =
       parse rest
     | "--baseline" :: [] ->
       prerr_endline "rrq_lint: --baseline needs a file";
+      exit 2
+    | "--dot" :: dir :: rest ->
+      dot_dir := Some dir;
+      parse rest
+    | "--dot" :: [] ->
+      prerr_endline "rrq_lint: --dot needs a directory";
       exit 2
     | ("--help" | "-h") :: _ ->
       usage ();
@@ -57,7 +66,22 @@ let () =
     | None -> []
     | Some file -> Driver.load_baseline file
   in
-  let result = Driver.run ~baseline paths in
+  let analysis = Driver.analyze ~baseline paths in
+  let result = analysis.Driver.a_result in
+  (match !dot_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let write name contents =
+      let oc = open_out (Filename.concat dir name) in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc contents)
+    in
+    write "callgraph.dot" (Rrq_lint.Callgraph.to_dot analysis.Driver.a_graph);
+    write "lockorder.dot" (Driver.render_lock_dot analysis.Driver.a_lock_edges);
+    Printf.eprintf "rrq_lint: wrote %s/callgraph.dot and %s/lockorder.dot\n"
+      dir dir);
   print_string
     (if !json then Driver.render_json result else Driver.render_text result);
   exit (if Driver.ok result then 0 else 1)

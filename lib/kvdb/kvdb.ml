@@ -12,7 +12,7 @@ module State = struct
   type state = { data : (string, string) Hashtbl.t; locks : Lock.t }
   type nonrec redo = redo
 
-  let empty () = { data = Hashtbl.create 64; locks = Lock.create () }
+  let empty () = { data = Hashtbl.create 64; locks = Lock.create ~name:"kvdb" () }
 
   let encode_redo e = function
     | Put (k, v) ->

@@ -1,0 +1,570 @@
+(* The call graph over the repo's own sources, built from untyped ASTs.
+
+   Nodes are top-level value bindings (including bindings inside named
+   nested modules and functor bodies — [Kvdb.State.relock], [Rm.Make.commit]).
+   Edges are applications whose head resolves to another node; resolution
+   follows the per-file [module X = Path] aliases and matches the remaining
+   path against node coordinates from the right, so the conventional
+   aliases ([module Lock = Rrq_txn.Lock]) and library wrapping
+   ([Rrq_txn.Lock] vs file [lock.ml]) both land on the same node. Two
+   files defining equally named modules yield edges to every candidate —
+   a deliberate over-approximation, in the conservative direction for the
+   rules built on top.
+
+   Besides the edge list, every node carries its *event list*: the
+   source-order sequence of references inside its body, with local helper
+   functions factored out as [Def] (not executed where defined) and calls
+   to them as [Local] (expanded at call position by the rules). That event
+   IR is what makes R5 flow-sensitive and what R7/R8 run their
+   interprocedural walks over. Lambdas passed as arguments are inlined at
+   the application site (they run, at the latest, under the callee), but
+   lambdas stored in data positions — record fields, tuple/array
+   elements, constructor payloads — are stored closures: like named
+   helpers they become [Def] events (edges for the graph, nothing
+   executed where they are built), because a handler table constructed
+   here runs in someone else's fibers under someone else's locks.
+   Module expressions inside expressions (first-class module payloads,
+   [let module]) are definitions, not executions, and contribute no
+   events. *)
+
+type call = {
+  c_line : int;
+  c_mod : string option;
+      (* raw last-but-one path component, for primitive matching *)
+  c_name : string;
+  c_path : string list; (* alias-resolved module path, [] for bare idents *)
+  mutable c_ref : bool;
+      (* a value reference, not an execution at this site: the name appears
+         outside call-head position (passed as an argument, stored in a
+         record), or — set during resolution — it is under-applied (fewer
+         positional arguments than every target takes: a closure being
+         built, [stage_handler stages i] handed to [Server.start]). Still
+         an edge for the graph, but the flow rules must not charge its
+         effects here — a handler runs in the server's fibers, not under
+         the caller's locks. *)
+  c_nargs : int; (* positional (unlabelled) arguments at this site *)
+  mutable c_tgts : int list; (* resolved node ids (filled by [build]) *)
+}
+
+type event =
+  | Call of call
+  | Local of { l_line : int; l_name : string }
+  | Def of { d_name : string; d_body : event list }
+
+type node = {
+  n_id : int;
+  n_file : string;
+  n_modpath : string list; (* module path within the file *)
+  n_name : string;
+  n_line : int;
+  n_arity : int; (* positional (unlabelled) parameters of the binding *)
+  n_events : event list;
+  mutable n_callees : int list; (* deduped, derived from events *)
+}
+
+type t = {
+  cg_nodes : node array;
+  (* (last module component, binding name) -> candidate node ids *)
+  by_key : (string * string, int list) Hashtbl.t;
+  (* (file, module path, binding name) -> id, for same-file bare idents *)
+  by_scope : (string * string list * string, int) Hashtbl.t;
+  (* file -> lock-manager instance name (from [Lock.create ~name:"..."],
+     else the file's directory basename) *)
+  instances : (string, string) Hashtbl.t;
+}
+
+(* ---- identifier helpers ------------------------------------------------ *)
+
+let rec flatten lid =
+  match lid with
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flatten l @ [ s ]
+  | Longident.Lapply (_, l) -> flatten l
+
+let module_of_file file =
+  String.capitalize_ascii
+    (Filename.remove_extension (Filename.basename file))
+
+let line_of loc = loc.Location.loc_start.Lexing.pos_lnum
+
+let bound_var p =
+  match p.Parsetree.ppat_desc with
+  | Parsetree.Ppat_var v -> Some v.Location.txt
+  | Parsetree.Ppat_alias (_, v) -> Some v.Location.txt
+  | Parsetree.Ppat_constraint (q, _) -> (
+    match q.Parsetree.ppat_desc with
+    | Parsetree.Ppat_var v -> Some v.Location.txt
+    | _ -> None)
+  | _ -> None
+
+let rec is_function e =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_fun _ | Parsetree.Pexp_function _ -> true
+  | Parsetree.Pexp_constraint (e, _) -> is_function e
+  | Parsetree.Pexp_newtype (_, e) -> is_function e
+  | _ -> false
+
+(* Positional parameter count of a binding's body: labelled/optional
+   parameters are excluded on both sides of the under-application test,
+   since call sites may omit or reorder them. *)
+let rec arity_of e =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_fun (Asttypes.Nolabel, _, _, body) -> 1 + arity_of body
+  | Parsetree.Pexp_fun (_, _, _, body) -> arity_of body
+  | Parsetree.Pexp_function _ -> 1
+  | Parsetree.Pexp_constraint (e, _) | Parsetree.Pexp_newtype (_, e) ->
+    arity_of e
+  | _ -> 0
+
+(* Match a resolved reference path against a node's module coordinates from
+   the right: [Rrq_txn.Lock] matches file [lock.ml] (key [Lock]); [Metrics]
+   matches the nested module key [Rrq_obs; Metrics]. *)
+let tail_match full key =
+  let rec go a b =
+    match (a, b) with
+    | [], _ | _, [] -> true
+    | x :: a', y :: b' -> String.equal x y && go a' b'
+  in
+  go (List.rev full) (List.rev key)
+
+(* ---- event extraction -------------------------------------------------- *)
+
+type builder = {
+  mutable next_id : int;
+  mutable acc_nodes : node list; (* reverse order *)
+  b_by_key : (string * string, int list) Hashtbl.t;
+  b_by_scope : (string * string list * string, int) Hashtbl.t;
+  b_instances : (string, string) Hashtbl.t;
+}
+
+(* Per-file state while scanning one structure. *)
+type fctx = {
+  f_file : string;
+  f_aliases : (string, string list) Hashtbl.t; (* module alias -> path *)
+  b : builder;
+}
+
+let resolve_path fc comps =
+  match comps with
+  | [] -> []
+  | head :: rest -> (
+    match Hashtbl.find_opt fc.f_aliases head with
+    | Some target -> target @ rest
+    | None -> comps)
+
+let string_const e =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_constant (Parsetree.Pconst_string (s, _, _)) -> Some s
+  | _ -> None
+
+(* [Lock.create ~name:"qm"] pins the file's lock-manager instance name; the
+   runtime witness hooks report edges under the same name, so the static
+   and observed lock-order graphs share a vocabulary. *)
+let note_instance fc args =
+  List.iter
+    (fun (lbl, a) ->
+      match (lbl, string_const a) with
+      | Asttypes.Labelled "name", Some s ->
+        if not (Hashtbl.mem fc.b.b_instances fc.f_file) then
+          Hashtbl.replace fc.b.b_instances fc.f_file s
+      | _ -> ())
+    args
+
+let last_two comps =
+  match List.rev comps with
+  | f :: m :: _ -> (Some m, f)
+  | [ f ] -> (None, f)
+  | [] -> (None, "")
+
+(* Callees that *store* their functional arguments (or hand them to other
+   fibers / boot) instead of invoking them in the caller's dynamic extent.
+   A lambda passed here is a stored closure, not an execution at the call
+   site: a server handler runs in the server's fibers under the server's
+   transactions, a boot hook runs at (re)boot scope. Matched on the raw
+   [Module.fn] spelling, like the lock primitives. A missing entry errs
+   in the conservative direction — the lambda is charged to the caller,
+   which can only add edges, never hide one. *)
+let stores_callbacks m name =
+  match (m, name) with
+  | Some "Sched", ("fork" | "at") -> true
+  | Some "Net", ("spawn_on" | "add_service" | "set_boot") -> true
+  | Some "Site", "on_boot" -> true
+  | Some "Server", ("start" | "start_set") -> true
+  | Some "Qm", ("set_clock" | "set_abort_callback" | "set_alert_callback") ->
+    true
+  | Some "Tm", "set_resolver" -> true
+  | _ -> false
+
+(* Callees that run their functional argument inside a {e fresh
+   transaction} ([begin_txn] — join — f — [commit]). The inlined lambda
+   body must see the transaction boundary on both sides: a synthetic
+   [Tm.begin_txn] event precedes it (a new transaction holds no locks —
+   whatever the caller's walk accumulated belongs to other transactions),
+   and the combinator's own summary ends in [Tm.commit], clearing what
+   the body acquired. *)
+let txn_combinator m name =
+  match (m, name) with Some "Site", "with_txn" -> true | _ -> false
+
+(* Walk one expression into an ordered event list. [scope] is the set of
+   local helper names currently in scope (a reference shared down the walk
+   of one item; shadowing by a non-function binding removes the name). *)
+let extract_events fc body_expr =
+  let rec walk acc scope e =
+    let open Parsetree in
+    match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> add_ident acc scope ~ref_:true txt loc []
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) ->
+      (* Arguments evaluate — and argument lambdas run, at the latest —
+         before the callee's effect, so their events precede the call.
+         Exceptions, in order: callees that store their lambdas take them
+         as data; a local helper's own (expanded) body is the truth about
+         what runs, so its lambda arguments are data too; a transaction
+         combinator's lambda runs inside a fresh transaction, so a
+         synthetic [begin_txn] precedes it. *)
+      let m, name = last_two (flatten txt) in
+      let local =
+        match flatten txt with [ n ] -> Hashtbl.mem scope n | _ -> false
+      in
+      if local || stores_callbacks m name then
+        List.iter (fun (_, a) -> walk_data acc scope a) args
+      else begin
+        if txn_combinator m name then
+          acc :=
+            Call
+              { c_line = line_of loc; c_mod = Some "Tm"; c_name = "begin_txn";
+                c_path = [ "Tm" ]; c_ref = false; c_nargs = 1; c_tgts = [] }
+            :: !acc;
+        List.iter (fun (_, a) -> walk acc scope a) args
+      end;
+      add_ident acc scope ~ref_:false txt loc args
+    | Pexp_apply (f, args) ->
+      List.iter (fun (_, a) -> walk acc scope a) args;
+      walk acc scope f
+    | Pexp_let (rf, vbs, body) ->
+      let defines =
+        List.filter_map
+          (fun vb ->
+            match bound_var vb.pvb_pat with
+            | Some n when is_function vb.pvb_expr -> Some n
+            | _ -> None)
+          vbs
+      in
+      (* let rec: the helpers are in scope inside their own bodies. *)
+      if rf = Asttypes.Recursive then
+        List.iter (fun n -> Hashtbl.replace scope n ()) defines;
+      List.iter
+        (fun vb ->
+          match bound_var vb.pvb_pat with
+          | Some n when is_function vb.pvb_expr ->
+            let sub = ref [] in
+            walk sub scope vb.pvb_expr;
+            acc := Def { d_name = n; d_body = List.rev !sub } :: !acc
+          | Some n ->
+            Hashtbl.remove scope n;
+            (* a non-function shadows any helper of the same name *)
+            walk acc scope vb.pvb_expr
+          | None -> walk acc scope vb.pvb_expr)
+        vbs;
+      List.iter (fun n -> Hashtbl.replace scope n ()) defines;
+      walk acc scope body
+    | Pexp_fun (_, default, _, body) ->
+      Option.iter (walk acc scope) default;
+      walk acc scope body
+    | Pexp_function cases -> cases_events acc scope cases
+    | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+      walk acc scope scrut;
+      cases_events acc scope cases
+    | Pexp_sequence (a, b) ->
+      walk acc scope a;
+      walk acc scope b
+    | Pexp_ifthenelse (c, t, e) ->
+      walk acc scope c;
+      walk acc scope t;
+      Option.iter (walk acc scope) e
+    | Pexp_while (c, b) ->
+      walk acc scope c;
+      walk acc scope b
+    | Pexp_for (_, a, b, _, body) ->
+      walk acc scope a;
+      walk acc scope b;
+      walk acc scope body
+    | Pexp_construct (_, arg) | Pexp_variant (_, arg) ->
+      Option.iter (walk_data acc scope) arg
+    | Pexp_tuple es | Pexp_array es -> List.iter (walk_data acc scope) es
+    | Pexp_record (fields, base) ->
+      Option.iter (walk acc scope) base;
+      List.iter (fun (_, v) -> walk_data acc scope v) fields
+    | Pexp_field (e, _) -> walk acc scope e
+    | Pexp_setfield (a, _, b) ->
+      walk acc scope a;
+      walk_data acc scope b
+    | Pexp_constraint (e, _)
+    | Pexp_coerce (e, _, _)
+    | Pexp_assert e
+    | Pexp_lazy e
+    | Pexp_open (_, e)
+    | Pexp_newtype (_, e)
+    | Pexp_letexception (_, e)
+    | Pexp_send (e, _) ->
+      walk acc scope e
+    | Pexp_letmodule (_, _, e) ->
+      (* The module payload is a definition, not an execution. *)
+      walk acc scope e
+    | Pexp_letop { let_; ands; body } ->
+      walk acc scope let_.pbop_exp;
+      List.iter (fun a -> walk acc scope a.pbop_exp) ands;
+      walk acc scope body
+    | Pexp_pack _ (* first-class module payload: definition, no events *)
+      ->
+      ()
+    | _ -> () (* constants, extensions, objects: nothing executable to track *)
+  (* A value flowing into a data position: a lambda here is a stored
+     closure, not an execution — factor it out like a local helper, under
+     a name no call site can reference. *)
+  and walk_data acc scope e =
+    if is_function e then begin
+      let sub = ref [] in
+      walk sub scope e;
+      acc := Def { d_name = "(closure)"; d_body = List.rev !sub } :: !acc
+    end
+    else walk acc scope e
+  and cases_events acc scope cases =
+    List.iter
+      (fun c ->
+        Option.iter (walk acc scope) c.Parsetree.pc_guard;
+        walk acc scope c.Parsetree.pc_rhs)
+      cases
+  and add_ident acc scope ~ref_ lid loc args =
+    let comps = flatten lid in
+    match comps with
+    | [ name ] when Hashtbl.mem scope name ->
+      acc := Local { l_line = line_of loc; l_name = name } :: !acc
+    | _ ->
+      let m, name = last_two comps in
+      if m = Some "Lock" && name = "create" then note_instance fc args;
+      let path =
+        match List.rev comps with
+        | [] | [ _ ] -> []
+        | _ :: mods_rev -> resolve_path fc (List.rev mods_rev)
+      in
+      let nargs =
+        List.length
+          (List.filter (fun (lbl, _) -> lbl = Asttypes.Nolabel) args)
+      in
+      acc :=
+        Call
+          { c_line = line_of loc; c_mod = m; c_name = name; c_path = path;
+            c_ref = ref_; c_nargs = nargs; c_tgts = [] }
+        :: !acc
+  in
+  let acc = ref [] in
+  walk acc (Hashtbl.create 8) body_expr;
+  List.rev !acc
+
+(* ---- structure scanning ------------------------------------------------ *)
+
+let add_node fc modpath name line arity events =
+  let b = fc.b in
+  let id = b.next_id in
+  b.next_id <- id + 1;
+  let n =
+    {
+      n_id = id;
+      n_file = fc.f_file;
+      n_modpath = modpath;
+      n_name = name;
+      n_line = line;
+      n_arity = arity;
+      n_events = events;
+      n_callees = [];
+    }
+  in
+  b.acc_nodes <- n :: b.acc_nodes;
+  let key_mod =
+    match List.rev (module_of_file fc.f_file :: modpath) with
+    | last :: _ -> last
+    | [] -> assert false
+  in
+  let key = (key_mod, name) in
+  let prev = Option.value ~default:[] (Hashtbl.find_opt b.b_by_key key) in
+  Hashtbl.replace b.b_by_key key (id :: prev);
+  Hashtbl.replace b.b_by_scope (fc.f_file, modpath, name) id
+
+let rec scan_structure fc modpath str =
+  List.iter
+    (fun si ->
+      match si.Parsetree.pstr_desc with
+      | Parsetree.Pstr_value (_, vbs) ->
+        List.iter
+          (fun vb ->
+            let name =
+              match bound_var vb.Parsetree.pvb_pat with
+              | Some n -> n
+              | None -> "_"
+            in
+            let events = extract_events fc vb.Parsetree.pvb_expr in
+            add_node fc modpath name
+              (line_of vb.Parsetree.pvb_loc)
+              (arity_of vb.Parsetree.pvb_expr)
+              events)
+          vbs
+      | Parsetree.Pstr_module mb -> scan_module fc modpath mb
+      | Parsetree.Pstr_recmodule mbs -> List.iter (scan_module fc modpath) mbs
+      | _ -> ())
+    str
+
+and scan_module fc modpath mb =
+  let name = Option.value ~default:"_" mb.Parsetree.pmb_name.Location.txt in
+  scan_module_expr fc modpath name mb.Parsetree.pmb_expr
+
+and scan_module_expr fc modpath name me =
+  match me.Parsetree.pmod_desc with
+  | Parsetree.Pmod_structure str -> scan_structure fc (modpath @ [ name ]) str
+  | Parsetree.Pmod_ident { txt; _ } ->
+    (* module Lock = Rrq_txn.Lock — the alias table behind resolution *)
+    Hashtbl.replace fc.f_aliases name (resolve_path fc (flatten txt))
+  | Parsetree.Pmod_functor (_, body) ->
+    (* functor body bindings live under File.Name, one level regardless of
+       the parameter count *)
+    scan_module_expr fc modpath name body
+  | Parsetree.Pmod_apply (f, _) | Parsetree.Pmod_apply_unit f -> (
+    (* module Base = Rm.Make (State): calls through Base resolve against
+       the functor's own bindings *)
+    match f.Parsetree.pmod_desc with
+    | Parsetree.Pmod_ident { txt; _ } ->
+      Hashtbl.replace fc.f_aliases name (resolve_path fc (flatten txt))
+    | _ -> ())
+  | Parsetree.Pmod_constraint (me, _) -> scan_module_expr fc modpath name me
+  | Parsetree.Pmod_unpack _ | Parsetree.Pmod_extension _ -> ()
+
+(* ---- resolution -------------------------------------------------------- *)
+
+let node_key n = module_of_file n.n_file :: n.n_modpath
+
+let resolve_call t n c =
+  match c.c_path with
+  | [] -> (
+    (* bare ident: same-file binding in the innermost enclosing scope *)
+    let rec try_scope modpath =
+      match Hashtbl.find_opt t.by_scope (n.n_file, modpath, c.c_name) with
+      | Some id -> [ id ]
+      | None -> (
+        match List.rev modpath with
+        | [] -> []
+        | _ :: outer_rev -> try_scope (List.rev outer_rev))
+    in
+    try_scope n.n_modpath)
+  | path -> (
+    match List.rev path with
+    | [] -> []
+    | last :: _ -> (
+      match Hashtbl.find_opt t.by_key (last, c.c_name) with
+      | None -> []
+      | Some ids ->
+        List.filter
+          (fun id -> tail_match path (node_key t.cg_nodes.(id)))
+          ids))
+
+let rec resolve_events t n events acc_callees =
+  List.iter
+    (function
+      | Call c ->
+        c.c_tgts <- resolve_call t n c;
+        (* Under-application: fewer positional arguments than every target
+           takes means a closure is being built here, not run — downgrade
+           to a reference. (If any candidate could be fully applied, keep
+           it an execution: the conservative direction.) *)
+        if
+          (not c.c_ref) && c.c_tgts <> []
+          && List.for_all
+               (fun id -> t.cg_nodes.(id).n_arity > c.c_nargs)
+               c.c_tgts
+        then c.c_ref <- true;
+        List.iter
+          (fun id ->
+            if not (List.mem id !acc_callees) then acc_callees := id :: !acc_callees)
+          c.c_tgts
+      | Local _ -> ()
+      | Def d -> resolve_events t n d.d_body acc_callees)
+    events
+
+let build sources =
+  let b =
+    {
+      next_id = 0;
+      acc_nodes = [];
+      b_by_key = Hashtbl.create 256;
+      b_by_scope = Hashtbl.create 256;
+      b_instances = Hashtbl.create 16;
+    }
+  in
+  List.iter
+    (fun (file, str) ->
+      let fc = { f_file = file; f_aliases = Hashtbl.create 16; b } in
+      scan_structure fc [] str;
+      if not (Hashtbl.mem b.b_instances file) then
+        Hashtbl.replace b.b_instances file
+          (Filename.basename (Filename.dirname file)))
+    sources;
+  let t =
+    {
+      cg_nodes = Array.of_list (List.rev b.acc_nodes);
+      by_key = b.b_by_key;
+      by_scope = b.b_by_scope;
+      instances = b.b_instances;
+    }
+  in
+  Array.iter
+    (fun n ->
+      let callees = ref [] in
+      resolve_events t n n.n_events callees;
+      n.n_callees <- List.rev !callees)
+    t.cg_nodes;
+  t
+
+(* ---- accessors --------------------------------------------------------- *)
+
+let nodes t = Array.to_list t.cg_nodes
+let node t id = t.cg_nodes.(id)
+let node_count t = Array.length t.cg_nodes
+
+let label t id =
+  let n = t.cg_nodes.(id) in
+  String.concat "." (node_key n @ [ n.n_name ])
+
+let instance t file =
+  match Hashtbl.find_opt t.instances file with
+  | Some name -> name
+  | None -> Filename.basename (Filename.dirname file)
+
+let callees t id = t.cg_nodes.(id).n_callees
+
+let find t qualified =
+  let matches n = String.equal (label t n.n_id) qualified in
+  Array.fold_left
+    (fun acc n -> match acc with Some _ -> acc | None -> if matches n then Some n.n_id else None)
+    None t.cg_nodes
+
+(* ---- graphviz export --------------------------------------------------- *)
+
+let dot_escape s =
+  String.concat "\\\"" (String.split_on_char '"' s)
+
+let to_dot t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "digraph callgraph {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  Array.iter
+    (fun n ->
+      Buffer.add_string b
+        (Printf.sprintf "  n%d [label=\"%s\"];\n" n.n_id
+           (dot_escape (label t n.n_id))))
+    t.cg_nodes;
+  Array.iter
+    (fun n ->
+      List.iter
+        (fun callee ->
+          Buffer.add_string b (Printf.sprintf "  n%d -> n%d;\n" n.n_id callee))
+        n.n_callees)
+    t.cg_nodes;
+  Buffer.add_string b "}\n";
+  Buffer.contents b

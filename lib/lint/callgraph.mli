@@ -1,0 +1,80 @@
+(** Call graph over the repo's own sources, from untyped ASTs.
+
+    Nodes are top-level value bindings, including bindings inside named
+    nested modules and functor bodies. Edges are applications whose head
+    resolves to another node: per-file [module X = Path] aliases are
+    followed (including [module B = F (Arg)], which aliases [B] to the
+    functor's own bindings), and the remaining path is matched against
+    node coordinates from the right, so library wrapping
+    ([Rrq_txn.Lock] vs file [lock.ml]) resolves too. Identically named
+    modules in different files produce edges to every candidate — a
+    deliberate, conservative over-approximation.
+
+    Each node also carries its ordered {e event list}: the source-order
+    references inside its body with local helper functions factored out
+    ([Def], not executed at the definition site) and calls to them marked
+    ([Local], expanded at call position by the flow rules). Lambdas passed
+    as arguments are inlined at the application site; lambdas stored in
+    data positions (record fields, tuple/array elements, constructor
+    payloads) become unreferenceable [Def]s — edges, but no execution at
+    the construction site. Module expressions inside expressions
+    (first-class module payloads, [let module]) are definitions and
+    contribute no events. *)
+
+type call = {
+  c_line : int;
+  c_mod : string option;
+      (** Raw last-but-one path component ([Cond] in [Cond.wait]), before
+          alias resolution — what the primitive tables match on. *)
+  c_name : string;
+  c_path : string list;  (** Alias-resolved module path; [[]] for bare idents. *)
+  mutable c_ref : bool;
+      (** A value reference, not an execution at this site: outside
+          call-head position (argument, record field), or under-applied
+          (fewer positional arguments than every resolved target takes —
+          a closure being built). A graph edge either way, but the flow
+          rules skip it and analyze the referenced node on its own. *)
+  c_nargs : int;  (** Positional (unlabelled) arguments at this site. *)
+  mutable c_tgts : int list;  (** Resolved node ids (filled by {!build}). *)
+}
+
+type event =
+  | Call of call
+  | Local of { l_line : int; l_name : string }
+  | Def of { d_name : string; d_body : event list }
+
+type node = {
+  n_id : int;
+  n_file : string;
+  n_modpath : string list;  (** Module path within the file. *)
+  n_name : string;
+  n_line : int;
+  n_arity : int;  (** Positional (unlabelled) parameters of the binding. *)
+  n_events : event list;
+  mutable n_callees : int list;  (** Deduped resolved targets. *)
+}
+
+type t
+
+val build : (string * Parsetree.structure) list -> t
+(** Build nodes, resolve every call, and record per-file lock-manager
+    instance names (from [Lock.create ~name:"..."], else the directory
+    basename). Input pairs are (path, parsed implementation). *)
+
+val nodes : t -> node list
+val node : t -> int -> node
+val node_count : t -> int
+
+val label : t -> int -> string
+(** ["Qm.dequeue"], ["Kvdb.State.relock"], ["Rm.Make.commit_prepared"]. *)
+
+val instance : t -> string -> string
+(** The lock-manager instance name of a file (see {!build}). *)
+
+val callees : t -> int -> int list
+
+val find : t -> string -> int option
+(** Node id by {!label}, for tests. *)
+
+val to_dot : t -> string
+(** The whole graph in Graphviz format ([rrq_lint --dot]). *)

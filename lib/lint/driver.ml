@@ -1,7 +1,10 @@
 (* File discovery, parsing, baseline application and reporting — everything
    around the rules themselves. Kept free of process concerns (no exit, no
    argv) so the test suite can drive each stage on in-memory fixtures; the
-   CLI in bin/rrq_lint.ml is a thin wrapper. *)
+   CLI in bin/rrq_lint.ml is a thin wrapper.
+
+   Sources are parsed once: the same ASTs feed the per-file syntactic pass
+   and the whole-program call graph the flow rules (R5/R7/R8) run over. *)
 
 module F = Finding
 
@@ -32,7 +35,7 @@ let rec collect acc path =
 let collect_files paths =
   List.rev (List.fold_left (fun acc p -> collect acc (normalize p)) [] paths)
 
-(* ---- parsing and per-file checking ------------------------------------ *)
+(* ---- parsing ----------------------------------------------------------- *)
 
 let parse_error ~file ~line message =
   {
@@ -46,27 +49,52 @@ let parse_error ~file ~line message =
     message;
     hint = "the linter parses with the toolchain's own grammar; if dune \
             builds this file, this is an rrq_lint bug";
+    detail = [];
   }
 
 (* Only implementations are parsed: every AST rule reasons about executable
    code, and R6 needs just the file listing. *)
-let lint_source ~file source =
+let parse_impl ~file source =
   let lexbuf = Lexing.from_string source in
   Lexing.set_filename lexbuf file;
   match Parse.implementation lexbuf with
-  | str -> Rules.check_structure ~file str
+  | str -> Ok str
   | exception Syntaxerr.Error _ ->
-    [ parse_error ~file ~line:lexbuf.Lexing.lex_curr_p.Lexing.pos_lnum
-        "syntax error" ]
+    Error
+      (parse_error ~file ~line:lexbuf.Lexing.lex_curr_p.Lexing.pos_lnum
+         "syntax error")
   | exception Lexer.Error (_, loc) ->
-    [ parse_error ~file ~line:loc.Location.loc_start.Lexing.pos_lnum
-        "lexical error" ]
+    Error
+      (parse_error ~file ~line:loc.Location.loc_start.Lexing.pos_lnum
+         "lexical error")
 
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ---- in-memory linting (the test suite's entry points) ----------------- *)
+
+(* Syntactic + flow rules over a set of in-memory sources that form one
+   program: per-file pass on each, call graph over all of them together. *)
+let lint_sources sources =
+  let parsed, errors =
+    List.fold_left
+      (fun (ok, err) (file, source) ->
+        match parse_impl ~file source with
+        | Ok str -> ((file, str) :: ok, err)
+        | Error f -> (ok, f :: err))
+      ([], []) sources
+  in
+  let parsed = List.rev parsed in
+  let syntactic =
+    List.concat_map (fun (file, str) -> Rules.check_structure ~file str) parsed
+  in
+  let flow = Rules.flow_check (Callgraph.build parsed) in
+  List.sort F.compare (List.rev errors @ syntactic @ flow)
+
+let lint_source ~file source = lint_sources [ (file, source) ]
 
 (* ---- suppression baseline --------------------------------------------- *)
 
@@ -138,27 +166,59 @@ type result = {
   stale : baseline_entry list;
 }
 
+type analysis = {
+  a_result : result;
+  a_graph : Callgraph.t;
+  a_lock_edges : Rules.lock_edge list;
+}
+
 let ok r = r.findings = [] && r.stale = []
 
-let run ?(baseline = []) paths =
+let analyze ?(baseline = []) paths =
   let files = collect_files paths in
-  let ast_findings =
-    List.concat_map
-      (fun f ->
-        if Filename.check_suffix f ".ml" then lint_source ~file:f (read_file f)
-        else [])
-      files
+  let parsed, parse_findings =
+    List.fold_left
+      (fun (ok_acc, err_acc) f ->
+        if Filename.check_suffix f ".ml" then
+          match parse_impl ~file:f (read_file f) with
+          | Ok str -> ((f, str) :: ok_acc, err_acc)
+          | Error e -> (ok_acc, e :: err_acc)
+        else (ok_acc, err_acc))
+      ([], []) files
   in
-  let findings = ast_findings @ Rules.interface_coverage ~files in
+  let parsed = List.rev parsed in
+  let syntactic =
+    List.concat_map (fun (file, str) -> Rules.check_structure ~file str) parsed
+  in
+  let graph = Callgraph.build parsed in
+  let flow = Rules.flow_check graph in
+  let findings =
+    List.rev parse_findings @ syntactic @ flow
+    @ Rules.interface_coverage ~files
+  in
   let kept, suppressed, stale = apply_baseline baseline findings in
   {
-    files = List.length files;
-    findings = List.sort F.compare kept;
-    suppressed;
-    stale;
+    a_result =
+      {
+        files = List.length files;
+        findings = List.sort F.compare kept;
+        suppressed;
+        stale;
+      };
+    a_graph = graph;
+    a_lock_edges = Rules.lock_order_edges graph;
   }
 
+let run ?baseline paths = (analyze ?baseline paths).a_result
+
 (* ---- reporting -------------------------------------------------------- *)
+
+let rule_counts r =
+  List.map
+    (fun (id, _, _) ->
+      ( id,
+        List.length (List.filter (fun f -> f.F.rule = id) r.findings) ))
+    Rules.all
 
 let render_text r =
   let b = Buffer.create 1024 in
@@ -183,6 +243,11 @@ let render_text r =
        (if List.length r.findings = 1 then "" else "s")
        r.suppressed
        (if ok r then " — clean" else ""));
+  Buffer.add_string b
+    (Printf.sprintf "per rule: %s\n"
+       (String.concat " "
+          (List.map (fun (id, n) -> Printf.sprintf "%s %d" id n)
+             (rule_counts r))));
   Buffer.contents b
 
 let render_json r =
@@ -202,7 +267,34 @@ let render_json r =
            (F.json_escape e.b_rule) (F.json_escape e.b_file)
            (F.json_escape e.b_item)))
     r.stale;
+  Buffer.add_string b "],\"rules\":{";
+  List.iteri
+    (fun i (id, n) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%d" (F.json_escape id) n))
+    (rule_counts r);
   Buffer.add_string b
-    (Printf.sprintf "],\"files\":%d,\"suppressed\":%d,\"ok\":%b}\n" r.files
+    (Printf.sprintf "},\"files\":%d,\"suppressed\":%d,\"ok\":%b}\n" r.files
        r.suppressed (ok r));
+  Buffer.contents b
+
+(* The static lock-order graph in Graphviz form: one node per lock-manager
+   instance, edge labels point at the witness acquisition site. *)
+let render_lock_dot edges =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "digraph lockorder {\n  node [shape=ellipse];\n";
+  let classes =
+    List.sort_uniq String.compare
+      (List.concat_map (fun e -> Rules.[ e.e_from; e.e_to ]) edges)
+  in
+  List.iter
+    (fun c -> Buffer.add_string b (Printf.sprintf "  \"%s\";\n" c))
+    classes;
+  List.iter
+    (fun e ->
+      Buffer.add_string b
+        (Printf.sprintf "  \"%s\" -> \"%s\" [label=\"%s:%d\"];\n"
+           e.Rules.e_from e.Rules.e_to e.Rules.e_file e.Rules.e_line))
+    edges;
+  Buffer.add_string b "}\n";
   Buffer.contents b

@@ -8,10 +8,24 @@ val collect_files : string list -> string list
     and dotted entries skipped), files kept if [.ml]/[.mli]. Leading
     [./] is stripped so finding paths match baseline paths. *)
 
+val parse_impl :
+  file:string -> string -> (Parsetree.structure, Finding.t) result
+(** Parse one implementation source with the toolchain's own grammar.
+    [Error] carries the [P0 parse] finding. Exposed so tests can build
+    {!Callgraph.t} values from in-memory fixtures. *)
+
 val lint_source : file:string -> string -> Finding.t list
-(** Parse one implementation source (given as a string) and run the AST
-    rules (R1–R5). Unparseable input yields a single [P0 parse] finding.
-    [file] is used for finding locations and R3's layer placement. *)
+(** Parse one implementation source (given as a string) and run the
+    syntactic rules (R1–R4) plus the flow rules (R5/R7/R8) over its
+    single-file call graph. Unparseable input yields a single [P0 parse]
+    finding. [file] is used for finding locations and R3's layer
+    placement. *)
+
+val lint_sources : (string * string) list -> Finding.t list
+(** Like {!lint_source} over several [(file, source)] pairs that form one
+    program: the per-file rules run on each, and one call graph spanning
+    all of them feeds the flow rules — the entry point for
+    multi-file / cross-module fixtures. *)
 
 (** {1 Suppression baseline}
 
@@ -53,10 +67,26 @@ type result = {
 val ok : result -> bool
 (** No findings and no stale baseline entries. *)
 
+type analysis = {
+  a_result : result;
+  a_graph : Callgraph.t;  (** For [--dot] and the runtime witness. *)
+  a_lock_edges : Rules.lock_edge list;  (** Static lock-order graph. *)
+}
+
+val analyze : ?baseline:baseline_entry list -> string list -> analysis
+(** Collect, read and parse every source under the given paths once; run
+    the syntactic rules per file, build the program-wide call graph, run
+    the flow rules over it, and add R6 (interface coverage) over the full
+    listing. *)
+
 val run : ?baseline:baseline_entry list -> string list -> result
-(** Collect, read, parse and check every source under the given paths;
-    [.ml] files get the AST rules, and the whole listing gets R6
-    (interface coverage). *)
+(** [analyze] keeping only the findings. *)
 
 val render_text : result -> string
+(** Findings, stale-entry complaints, the summary line, and a per-rule
+    finding-count line. *)
+
 val render_json : result -> string
+
+val render_lock_dot : Rules.lock_edge list -> string
+(** The static lock-order graph in Graphviz form ([--dot]). *)

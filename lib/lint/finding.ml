@@ -10,6 +10,7 @@ type t = {
   item : string;
   message : string;
   hint : string;
+  detail : string list;
 }
 
 let severity_to_string = function Error -> "error" | Warning -> "warning"
@@ -28,8 +29,12 @@ let to_text f =
   let where =
     if f.item = "" then "" else Printf.sprintf " (in `%s')" f.item
   in
-  Printf.sprintf "%s:%d:%d: [%s %s]%s %s\n    hint: %s" f.file f.line f.col
-    f.rule f.rule_name where f.message f.hint
+  let detail =
+    String.concat ""
+      (List.map (fun d -> Printf.sprintf "\n      %s" d) f.detail)
+  in
+  Printf.sprintf "%s:%d:%d: [%s %s]%s %s%s\n    hint: %s" f.file f.line f.col
+    f.rule f.rule_name where f.message detail f.hint
 
 (* Minimal JSON: every field is a string or an int, so escaping the usual
    control characters is enough. *)
@@ -49,10 +54,15 @@ let json_escape s =
   Buffer.contents b
 
 let to_json f =
+  let detail =
+    String.concat ","
+      (List.map (fun d -> "\"" ^ json_escape d ^ "\"") f.detail)
+  in
   Printf.sprintf
     "{\"rule\":\"%s\",\"name\":\"%s\",\"severity\":\"%s\",\"file\":\"%s\",\
-     \"line\":%d,\"col\":%d,\"item\":\"%s\",\"message\":\"%s\",\"hint\":\"%s\"}"
+     \"line\":%d,\"col\":%d,\"item\":\"%s\",\"message\":\"%s\",\"hint\":\"%s\",\
+     \"detail\":[%s]}"
     (json_escape f.rule) (json_escape f.rule_name)
     (severity_to_string f.severity)
     (json_escape f.file) f.line f.col (json_escape f.item)
-    (json_escape f.message) (json_escape f.hint)
+    (json_escape f.message) (json_escape f.hint) detail

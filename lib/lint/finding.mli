@@ -15,6 +15,10 @@ type t = {
           baselines survive reformatting. *)
   message : string;
   hint : string;  (** How to fix (or legitimately suppress) the finding. *)
+  detail : string list;
+      (** Witness lines for flow findings (R7's cycle path, R8's taint
+          trail), rendered indented under the message and as a JSON
+          array; [[]] for the syntactic rules. *)
 }
 
 val severity_to_string : severity -> string

@@ -1,0 +1,88 @@
+(* Small graph engine under the flow-aware rules (R5/R7/R8): reachability,
+   a dominance-style cut test, and cycle extraction with an explicit witness
+   path. Nodes are ints (callers intern whatever they analyze — call-graph
+   node ids, lock-class ids); edges come in as a successor function so the
+   same algorithms serve both the call graph and the lock-order graph. *)
+
+module IntSet = Set.Make (Int)
+
+let reachable ~succ roots =
+  let seen = Hashtbl.create 64 in
+  let rec go n =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      List.iter go (succ n)
+    end
+  in
+  List.iter go roots;
+  seen
+
+let reaches ~succ ~from ~target =
+  Hashtbl.mem (reachable ~succ [ from ]) target
+
+(* Every path from [from] to [target] passes through [via]: the cut test
+   behind "every path from the reply back to the enqueue passes through a
+   force". Trivially false when [target] is unreachable to begin with. *)
+let passes_through ~succ ~from ~target ~via =
+  if not (reaches ~succ ~from ~target) then false
+  else if from = via || target = via then true
+  else
+    let succ' n = if n = via then [] else succ n in
+    not (reaches ~succ:succ' ~from ~target)
+
+(* First cycle found by DFS, as the node sequence [n1; ...; nk] with an
+   implied edge nk -> n1 — the witness path R7 reports. Self-loops are the
+   caller's choice: pass them in [succ] and they come back as [n]. *)
+let find_cycle ~nodes ~succ =
+  let color = Hashtbl.create 64 in
+  (* 0 absent = white, 1 = on stack, 2 = done *)
+  let cycle = ref None in
+  let rec visit path n =
+    match Hashtbl.find_opt color n with
+    | Some 2 -> ()
+    | Some _ ->
+      if !cycle = None then begin
+        (* [path] holds the stack, most recent first; the cycle is the
+           prefix up to (and including) the back edge's target. *)
+        let rec upto acc = function
+          | [] -> acc
+          | x :: rest -> if x = n then x :: acc else upto (x :: acc) rest
+        in
+        cycle := Some (upto [] path)
+      end
+    | None ->
+      Hashtbl.replace color n 1;
+      List.iter
+        (fun m -> if !cycle = None then visit (n :: path) m)
+        (succ n);
+      Hashtbl.replace color n 2
+  in
+  List.iter (fun n -> if !cycle = None then visit [] n) nodes;
+  !cycle
+
+(* Bounded fixpoint driver for the interprocedural summaries: recompute
+   every node's value from its current neighbours until nothing changes.
+   The rules' transfer functions are monotone over finite sets, so this
+   terminates; [max_rounds] is a belt against a non-monotone bug turning
+   the lint into a spin. *)
+let fixpoint ~nodes ~eq ~step ~init =
+  let values = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace values n init) nodes;
+  let get n = match Hashtbl.find_opt values n with Some v -> v | None -> init in
+  let max_rounds = 50 in
+  let rec iterate round =
+    if round < max_rounds then begin
+      let changed = ref false in
+      List.iter
+        (fun n ->
+          let v' = step get n in
+          if not (eq (get n) v') then begin
+            Hashtbl.replace values n v';
+            changed := true
+          end)
+        nodes;
+      if !changed then iterate (round + 1)
+    end
+  in
+  iterate 0;
+  get

@@ -1,0 +1,34 @@
+(** Graph algorithms under the flow-aware rules (R5/R7/R8).
+
+    Nodes are ints — callers intern call-graph node ids or lock-class ids;
+    edges come in as a successor function so the same engine serves both
+    graphs. Everything here is pure and total. *)
+
+module IntSet : Set.S with type elt = int
+
+val reachable : succ:(int -> int list) -> int list -> (int, unit) Hashtbl.t
+(** Every node reachable from the roots (roots included). *)
+
+val reaches : succ:(int -> int list) -> from:int -> target:int -> bool
+
+val passes_through :
+  succ:(int -> int list) -> from:int -> target:int -> via:int -> bool
+(** Every path from [from] to [target] passes through [via] (the
+    dominance-style cut test: removing [via] disconnects them). [false]
+    when [target] is not reachable at all. *)
+
+val find_cycle : nodes:int list -> succ:(int -> int list) -> int list option
+(** First cycle found, as the node sequence [n1; ...; nk] with an implied
+    edge from [nk] back to [n1]. Self-loops are reported iff [succ] yields
+    them. [None] iff the graph restricted to [nodes] is acyclic. *)
+
+val fixpoint :
+  nodes:int list ->
+  eq:('a -> 'a -> bool) ->
+  step:((int -> 'a) -> int -> 'a) ->
+  init:'a ->
+  int -> 'a
+(** Round-robin fixpoint: recompute [step get n] for every node until
+    stable (bounded at 50 rounds as a non-termination belt), then return
+    the lookup function. The rules' transfer functions are monotone over
+    finite sets, so the bound is never the stopping reason in practice. *)

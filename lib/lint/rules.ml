@@ -1,4 +1,6 @@
-(* The rule set, as a single Parsetree pass (compiler-libs [Ast_iterator]).
+(* The rule set: a per-file Parsetree pass (compiler-libs [Ast_iterator])
+   for the syntactic rules R1–R4, the file-level R6, and a flow-aware pass
+   (R5, R7, R8) over the call graph built by [Callgraph].
 
    Rules work on the *untyped* AST: they see names, not resolved paths, so
    they match on the conventional module aliases used throughout the tree
@@ -6,12 +8,16 @@
    proofs — cheap, fast, zero-annotation — and the suppression baseline
    (see [Driver]) is the escape hatch for the rare intentional exception.
 
-   Scoping: R4 and R5 reason per top-level value binding ("item"). The
-   iterator linearizes an item's body in source order, which approximates
-   control flow well enough for the hazards these rules target; the
-   approximations are documented per rule in doc/INTERNALS.md. *)
+   Scoping: R4 reasons per top-level value binding ("item"), linearizing
+   the body in source order. The flow rules reason over each item's event
+   list (local helpers expanded at call position, lambdas inlined at their
+   application site) plus interprocedural summaries computed over the call
+   graph; branches are linearized in source order — an over-approximation
+   in the conservative direction for every hazard these rules target. The
+   exact approximations are documented per rule in doc/INTERNALS.md. *)
 
 module F = Finding
+module CG = Callgraph
 
 let all =
   [
@@ -36,12 +42,24 @@ let all =
        transaction and its locks when the body raises" );
     ( "R5", "blocking-under-lock",
       "no blocking primitive (Sched.yield/sleep, Cond.wait*, Chan.send/\
-       recv, Ivar.read*) after Lock.acquire and before Lock.release_all \
-       in the same item: hold-and-wait invites deadlock and stretches \
-       lock hold times" );
+       recv, Ivar.read*, Net.call, Group_commit.force) after Lock.acquire \
+       and before Lock.release_all in the same item, including through \
+       local helper functions (expanded at their call position): \
+       hold-and-wait invites deadlock and stretches lock hold times" );
     ( "R6", "interface-coverage",
       "every lib/**.ml has a sibling .mli: the public surface of each \
        module is explicit" );
+    ( "R7", "lock-order",
+      "the static lock-order graph (edges: lock-manager instance held \
+       while acquiring from another) must be acyclic; a cycle is a \
+       potential cross-manager deadlock the dynamic waits-for detector \
+       cannot see, reported with the full witness path" );
+    ( "R8", "durability-before-reply",
+      "no reply/publish release (Ivar.fill, Chan.send, Net.call/cast; \
+       Cond.signal/broadcast only if unforced at item exit) while a WAL \
+       or group-commit append is not yet covered by a force: a waiter \
+       woken past that window can act on — and answer for — state a \
+       crash would revoke" );
   ]
 
 (* ---- identifier helpers ---------------------------------------------- *)
@@ -68,8 +86,6 @@ type ctx = {
   mutable begin_sites : Location.t list;
   mutable saw_commit : bool;
   mutable saw_abort : bool;
-  (* R5, per item *)
-  mutable lock_held : bool;
 }
 
 let emit ctx ~rule ~rule_name ~loc ~message ~hint =
@@ -85,6 +101,7 @@ let emit ctx ~rule ~rule_name ~loc ~message ~hint =
       item = ctx.item;
       message;
       hint;
+      detail = [];
     }
     :: ctx.findings
 
@@ -313,54 +330,19 @@ let r4_finalize ctx =
              handle to a helper that does")
       (List.rev ctx.begin_sites)
 
-(* ---- R5: blocking under lock ------------------------------------------ *)
-
-let blocking =
-  [
-    ("Sched", [ "yield"; "sleep"; "sleep_background"; "suspend" ]);
-    ("Cond", [ "wait"; "wait_timeout"; "wait_any" ]);
-    ("Chan", [ "send"; "recv"; "recv_timeout" ]);
-    ("Ivar", [ "read"; "read_timeout" ]);
-  ]
-
-let r5_check_ident ctx loc comps =
-  let m2, f = last_two comps in
-  match m2 with
-  | None -> ()
-  | Some m ->
-    if m = "Lock" && (f = "acquire" || f = "try_acquire") then
-      ctx.lock_held <- true
-    else if m = "Lock" && f = "release_all" then ctx.lock_held <- false
-    else if
-      ctx.lock_held
-      && List.exists (fun (bm, fs) -> bm = m && List.mem f fs) blocking
-    then
-      emit ctx ~rule:"R5" ~rule_name:"blocking-under-lock" ~loc
-        ~message:
-          (Printf.sprintf
-             "%s.%s while a Lock acquired earlier in this item may still be \
-              held"
-             m f)
-        ~hint:
-          "release (or do not yet acquire) the lock around the blocking \
-           call; if the hold-and-wait is the design (e.g. strict-FIFO \
-           dequeue), document it in the suppression baseline"
-
 (* ---- the pass --------------------------------------------------------- *)
 
 let check_ident ctx loc lid =
   let comps = flatten lid in
   r2_check ctx loc comps;
   r3_check_ident ctx loc comps;
-  r4_check_ident ctx loc comps;
-  r5_check_ident ctx loc comps
+  r4_check_ident ctx loc comps
 
 let reset_item ctx name =
   ctx.item <- name;
   ctx.begin_sites <- [];
   ctx.saw_commit <- false;
-  ctx.saw_abort <- false;
-  ctx.lock_held <- false
+  ctx.saw_abort <- false
 
 let make_iterator ctx =
   let super = Ast_iterator.default_iterator in
@@ -404,7 +386,6 @@ let check_structure ~file str =
       begin_sites = [];
       saw_commit = false;
       saw_abort = false;
-      lock_held = false;
     }
   in
   let it = make_iterator ctx in
@@ -432,6 +413,490 @@ let interface_coverage ~files =
             hint =
               "write the .mli: the module's public surface must be explicit \
                (abstract types, documented vals), everything else private";
+            detail = [];
           }
       else None)
     (List.sort String.compare files)
+
+(* ====== flow-aware rules (R5, R7, R8) over the call graph =============== *)
+
+(* Iterate the [Call] events of an event list in execution order, expanding
+   local helpers at their call position. A [Def] enters the helper map; a
+   [Local] splices the helper's body in (cycle-guarded, since `let rec`
+   helpers recurse — one expansion per helper per chain is enough for the
+   may-style properties these rules check). Value references ([c_ref]) are
+   not executions and are skipped — the referenced node is analyzed in its
+   own right. *)
+let iter_exec events f =
+  let defs = Hashtbl.create 8 in
+  let rec go expanding evs =
+    List.iter
+      (fun ev ->
+        match ev with
+        | CG.Def d -> Hashtbl.replace defs d.d_name d.d_body
+        | CG.Local l -> (
+          match Hashtbl.find_opt defs l.l_name with
+          | Some body when not (List.mem l.l_name expanding) ->
+            go (l.l_name :: expanding) body
+          | _ -> ())
+        | CG.Call c -> if not c.CG.c_ref then f c)
+      evs
+  in
+  go [] events
+
+let flow_finding ~rule ~rule_name ~file ~line ~item ~message ~hint ~detail =
+  {
+    F.rule;
+    rule_name;
+    severity = F.Error;
+    file;
+    line;
+    col = 0;
+    item;
+    message;
+    hint;
+    detail;
+  }
+
+(* ---- R5: blocking under lock (flow-sensitive, local helpers expanded) -- *)
+
+let blocking =
+  [
+    ("Sched", [ "yield"; "sleep"; "sleep_background"; "suspend" ]);
+    ("Cond", [ "wait"; "wait_timeout"; "wait_any" ]);
+    ("Chan", [ "send"; "recv"; "recv_timeout" ]);
+    ("Ivar", [ "read"; "read_timeout" ]);
+    ("Net", [ "call" ]);
+    ("Group_commit", [ "force"; "append_force" ]);
+  ]
+
+let is_blocking m f =
+  List.exists (fun (bm, fs) -> bm = m && List.mem f fs) blocking
+
+let r5_node acc (n : CG.node) =
+  let held = ref false in
+  iter_exec n.CG.n_events (fun c ->
+    match (c.CG.c_mod, c.CG.c_name) with
+    | Some "Lock", ("acquire" | "try_acquire") -> held := true
+    | Some "Lock", "release_all" -> held := false
+    | Some m, f when !held && is_blocking m f ->
+      acc :=
+        flow_finding ~rule:"R5" ~rule_name:"blocking-under-lock"
+          ~file:n.CG.n_file ~line:c.CG.c_line ~item:n.CG.n_name
+          ~message:
+            (Printf.sprintf
+               "%s.%s while a Lock acquired earlier in this item may still \
+                be held"
+               m f)
+          ~hint:
+            "release (or do not yet acquire) the lock around the blocking \
+             call; if the hold-and-wait is the design (e.g. strict-FIFO \
+             dequeue), document it in the suppression baseline"
+          ~detail:[]
+        :: !acc
+    | _ -> ())
+
+(* ---- R7: lock order ---------------------------------------------------- *)
+
+module SS = Set.Make (String)
+
+let lock_prim c =
+  match (c.CG.c_mod, c.CG.c_name) with
+  | Some "Lock", ("acquire" | "try_acquire") -> `Acquire
+  | Some "Lock", "release_all" -> `Release
+  (* Transaction boundaries are release-all points by the system's own
+     2PL contract. On exit, TM resolution releases every participant's
+     locks through the [p_release] closures, which a static walk cannot
+     see into; on entry, a fresh transaction holds nothing — whatever the
+     walk accumulated before [begin_txn] (boot-time recovery relocks, a
+     previous scenario's 2PL holds) belongs to other transactions, and
+     lock order is a per-transaction property. *)
+  | Some "Tm", ("begin_txn" | "commit" | "abort" | "force_abort") -> `Release
+  | _ -> `No
+
+(* Per-node lock summary, computed to fixpoint over the call graph:
+
+   - [s_acq]: every instance a call into the node may acquire, transitively
+     (releases ignored) — the edge targets a call site contributes.
+   - [s_clears]: the linearized path through the node ends past a
+     [release_all] (its own, or one every callee candidate performs) — so
+     a caller's held set does not survive the call. This is what lets
+     [Site.create]'s recovery — which relocks prepared keys and then
+     releases them as the recovered transactions resolve — come out clean
+     instead of poisoning every harness driver's held set forever.
+   - [s_net]: instances acquired after the last clear, i.e. still held at
+     exit (the strict-FIFO [dequeue] hands its lock to the caller's
+     commit).
+
+   Calls that are the [Lock] primitives themselves count as the caller's
+   own instance and are never chased as edges — [lock.ml]'s internals are
+   the mechanism, not a user of it. *)
+type r7_sum = { s_acq : SS.t; s_clears : bool; s_net : SS.t }
+
+let r7_walk cg get (node : CG.node) ~on_acquire ~on_call =
+  let own = CG.instance cg node.CG.n_file in
+  let acq = ref SS.empty in
+  let cleared = ref false in
+  let held = ref SS.empty in
+  iter_exec node.CG.n_events (fun c ->
+    match lock_prim c with
+    | `Acquire ->
+      on_acquire c !held own;
+      acq := SS.add own !acq;
+      held := SS.add own !held
+    | `Release ->
+      cleared := true;
+      held := SS.empty
+    | `No -> (
+      match c.CG.c_tgts with
+      | [] -> ()
+      | tgts ->
+        let subs = List.map get tgts in
+        let sub_acq =
+          List.fold_left (fun s x -> SS.union x.s_acq s) SS.empty subs
+        in
+        let sub_net =
+          List.fold_left (fun s x -> SS.union x.s_net s) SS.empty subs
+        in
+        if not (SS.is_empty sub_acq) then on_call c !held sub_acq tgts;
+        acq := SS.union sub_acq !acq;
+        (* several candidates (shadowed module names): the callee clears
+           only if every candidate clears — the conservative direction *)
+        if List.for_all (fun x -> x.s_clears) subs then begin
+          cleared := true;
+          held := sub_net
+        end
+        else held := SS.union !held sub_net));
+  { s_acq = !acq; s_clears = !cleared; s_net = !held }
+
+let r7_summaries cg =
+  let ids = List.init (CG.node_count cg) (fun i -> i) in
+  let eq a b =
+    SS.equal a.s_acq b.s_acq
+    && a.s_clears = b.s_clears
+    && SS.equal a.s_net b.s_net
+  in
+  let step get id =
+    r7_walk cg get (CG.node cg id)
+      ~on_acquire:(fun _ _ _ -> ())
+      ~on_call:(fun _ _ _ _ -> ())
+  in
+  Flow.fixpoint ~nodes:ids ~eq ~step
+    ~init:{ s_acq = SS.empty; s_clears = false; s_net = SS.empty }
+
+type lock_edge = {
+  e_from : string;
+  e_to : string;
+  e_file : string;
+  e_line : int;
+  e_item : string;
+  e_via : string option;  (* callee label when acquired interprocedurally *)
+}
+
+(* Walk every node with a held-set of instance classes, recording a
+   [held -> acquired] edge per acquisition (first witness site per edge
+   kept). Every acquisition also records the self-edge [own -> own]: a
+   loop re-acquiring within one manager (multi-key relock, strict-FIFO
+   element locks) produces exactly that edge at runtime, and the static
+   walk linearizes loop bodies once. Self-edges are excluded from the
+   cycle check — intra-instance ordering is the dynamic waits-for
+   detector's job — but they must be in the witness reference set. *)
+let lock_order_edges_of cg summaries =
+  let edges : (string * string, lock_edge) Hashtbl.t = Hashtbl.create 32 in
+  let add e =
+    if not (Hashtbl.mem edges (e.e_from, e.e_to)) then
+      Hashtbl.replace edges (e.e_from, e.e_to) e
+  in
+  List.iter
+    (fun (node : CG.node) ->
+      let site line via from to_ =
+        { e_from = from; e_to = to_; e_file = node.CG.n_file; e_line = line;
+          e_item = node.CG.n_name; e_via = via }
+      in
+      ignore
+        (r7_walk cg summaries node
+           ~on_acquire:(fun c held own ->
+             add (site c.CG.c_line None own own);
+             SS.iter (fun h -> add (site c.CG.c_line None h own)) held)
+           ~on_call:(fun c held acq tgts ->
+             let via = Some (CG.label cg (List.hd tgts)) in
+             SS.iter
+               (fun h ->
+                 SS.iter (fun a -> add (site c.CG.c_line via h a)) acq)
+               held)))
+    (CG.nodes cg);
+  List.sort compare (Hashtbl.fold (fun _ e acc -> e :: acc) edges [])
+
+let lock_order_edges cg = lock_order_edges_of cg (r7_summaries cg)
+
+let edge_site e =
+  Printf.sprintf "%s -> %s: %s:%d in `%s'%s" e.e_from e.e_to e.e_file
+    e.e_line e.e_item
+    (match e.e_via with None -> "" | Some v -> Printf.sprintf " (via %s)" v)
+
+(* Cycle check over the distinct-instance graph. Self-edges (multi-key
+   acquisition inside one manager) are expected — intra-instance ordering
+   is the dynamic waits-for detector's job — so they are excluded here. *)
+let r7_check acc edges =
+  let classes =
+    List.sort_uniq String.compare
+      (List.concat_map (fun e -> [ e.e_from; e.e_to ]) edges)
+  in
+  let arr = Array.of_list classes in
+  let idx = Hashtbl.create 8 in
+  Array.iteri (fun i c -> Hashtbl.replace idx c i) arr;
+  let succ i =
+    List.filter_map
+      (fun e ->
+        if e.e_from = arr.(i) && e.e_to <> arr.(i) then
+          Hashtbl.find_opt idx e.e_to
+        else None)
+      edges
+  in
+  match
+    Flow.find_cycle ~nodes:(List.init (Array.length arr) (fun i -> i)) ~succ
+  with
+  | None -> ()
+  | Some cycle ->
+    let names = List.map (fun i -> arr.(i)) cycle in
+    let pairs =
+      match names with
+      | [] -> []
+      | first :: _ ->
+        let rec pair = function
+          | [ last ] -> [ (last, first) ]
+          | a :: (b :: _ as rest) -> (a, b) :: pair rest
+          | [] -> []
+        in
+        pair names
+    in
+    let witness =
+      List.filter_map
+        (fun (a, b) ->
+          List.find_opt (fun e -> e.e_from = a && e.e_to = b) edges)
+        pairs
+    in
+    let head =
+      match witness with
+      | e :: _ -> e
+      | [] -> { e_from = ""; e_to = ""; e_file = "?"; e_line = 0;
+                e_item = ""; e_via = None }
+    in
+    acc :=
+      flow_finding ~rule:"R7" ~rule_name:"lock-order" ~file:head.e_file
+        ~line:head.e_line ~item:head.e_item
+        ~message:
+          (Printf.sprintf
+             "lock-order cycle between manager instances: %s -> %s"
+             (String.concat " -> " names)
+             (List.hd names))
+        ~hint:
+          "impose a global acquisition order across lock-manager instances \
+           (acquire in one fixed order everywhere) or release the first \
+           manager's locks before taking the second's"
+        ~detail:(List.map edge_site witness)
+      :: !acc
+
+(* ---- R8: durability before reply --------------------------------------- *)
+
+(* Taint model: an un-forced WAL/group-commit append marks the item
+   undurable. A force/sync clears it. Releasing a reply or publishing
+   state while undurable is the hazard; two severities of release:
+
+   - hard (Ivar.fill, Chan.send, Net.call/cast): the waiter runs with the
+     value no matter what happens next — a finding at the release site.
+   - soft (Cond.signal/broadcast, Sched.wake): the woken fiber still has
+     to re-check shared state; the group-commit design *relies* on
+     signal-then-force (apply in memory, wake waiters, then force before
+     answering the client). A soft release under taint is therefore only
+     pending — a later force in the same item absolves it; pending at item
+     exit is the finding.
+
+   Interprocedural: each node gets two symbolic outcomes — entered clean
+   and entered tainted — computed to fixpoint; a call site consults the
+   outcome matching the caller's current taint. A call-site finding is
+   charged to the caller only when caused by the caller's own taint
+   (violates when entered tainted, clean when entered clean) — violations
+   unconditional in the callee are the callee's own report. *)
+
+type r8_outcome = {
+  o_taint : bool;  (* undurable at exit, given the entry taint *)
+  o_pending : bool;  (* soft releases outstanding at exit *)
+  o_viol : bool;  (* a violation fires inside, given the entry taint *)
+  o_force : bool;  (* a force/sync happens inside (entry-independent) *)
+}
+
+type r8_summary = { v_false : r8_outcome; v_true : r8_outcome }
+
+let r8_prim c =
+  match (c.CG.c_mod, c.CG.c_name) with
+  | Some ("Wal" | "Group_commit"), ("append" | "append_enc") -> `Taint
+  | Some "Group_commit", ("force" | "append_force") -> `Clear
+  | Some "Wal", ("sync" | "append_sync") -> `Clear
+  | Some "Disk", ("sync" | "sync_all") -> `Clear
+  | Some "Cond", ("signal" | "broadcast") -> `Soft
+  | Some "Sched", "wake" -> `Soft
+  | Some "Ivar", "fill" -> `Hard
+  | Some "Chan", "send" -> `Hard
+  | Some "Net", ("call" | "cast") -> `Hard
+  | _ -> `No
+
+(* Appends of recovery-optional bookkeeping whose loss is unobservable:
+   the TM's END record (Tm.log_end) is appended after the commit decision
+   was already forced, purely to let recovery skip resolved transactions —
+   the paper's own lazy-END optimization. Chasing that taint upward would
+   mark every committed transaction undurable forever. *)
+let r8_lazy = [ "Tm.log_end" ]
+
+let r8_targets cg c =
+  List.filter
+    (fun t -> not (List.mem (CG.label cg t) r8_lazy))
+    c.CG.c_tgts
+
+let r8_run cg get (node : CG.node) entry =
+  let taint = ref entry in
+  let pending = ref false in
+  let viol = ref false in
+  let force = ref false in
+  iter_exec node.CG.n_events (fun c ->
+    match r8_prim c with
+    | `Taint -> taint := true
+    | `Clear ->
+      force := true;
+      taint := false;
+      pending := false
+    | `Soft -> if !taint then pending := true
+    | `Hard -> if !taint then viol := true
+    | `No -> (
+      match r8_targets cg c with
+      | [] -> ()
+      | tgts ->
+        let outs =
+          List.map
+            (fun t ->
+              let s = get t in
+              if !taint then s.v_true else s.v_false)
+            tgts
+        in
+        let any f = List.exists f outs in
+        if any (fun o -> o.o_viol) then viol := true;
+        (* several candidates (shadowed module names): force only counts
+           if every candidate forces — the conservative direction *)
+        if List.for_all (fun o -> o.o_force) outs then begin
+          force := true;
+          pending := false
+        end;
+        if any (fun o -> o.o_pending) then pending := true;
+        taint := any (fun o -> o.o_taint)));
+  { o_taint = !taint; o_pending = !pending; o_viol = !viol; o_force = !force }
+
+let r8_summaries cg =
+  let ids = List.init (CG.node_count cg) (fun i -> i) in
+  let bot = { o_taint = false; o_pending = false; o_viol = false; o_force = false } in
+  let init = { v_false = bot; v_true = { bot with o_taint = true } } in
+  let step get id =
+    let node = CG.node cg id in
+    { v_false = r8_run cg get node false; v_true = r8_run cg get node true }
+  in
+  Flow.fixpoint ~nodes:ids ~eq:( = ) ~step ~init
+
+let r8_hint =
+  "force the log (Group_commit.force / Wal.sync) before releasing the \
+   reply, or restructure so the release happens on the post-force path; \
+   if the waiter genuinely re-validates against durable state, document \
+   the suppression in the baseline"
+
+let r8_node cg get acc (node : CG.node) =
+  let taint = ref false in
+  let tsite = ref 0 in
+  let pending = ref [] in
+  (* (line, what, append site) *)
+  let report line message detail =
+    acc :=
+      flow_finding ~rule:"R8" ~rule_name:"durability-before-reply"
+        ~file:node.CG.n_file ~line ~item:node.CG.n_name ~message ~hint:r8_hint
+        ~detail
+      :: !acc
+  in
+  iter_exec node.CG.n_events (fun c ->
+    let line = c.CG.c_line in
+    let prim_label () =
+      Printf.sprintf "%s.%s"
+        (Option.value ~default:"?" c.CG.c_mod)
+        c.CG.c_name
+    in
+    match r8_prim c with
+    | `Taint ->
+      if not !taint then begin
+        taint := true;
+        tsite := line
+      end
+    | `Clear ->
+      taint := false;
+      pending := []
+    | `Soft ->
+      if !taint then pending := (line, prim_label (), !tsite) :: !pending
+    | `Hard ->
+      if !taint then
+        report line
+          (Printf.sprintf
+             "%s releases a reply while the append at line %d is not yet \
+              forced"
+             (prim_label ()) !tsite)
+          [ Printf.sprintf "undurable since line %d" !tsite ]
+    | `No -> (
+      match r8_targets cg c with
+      | [] -> ()
+      | tgts ->
+        let callee = CG.label cg (List.hd tgts) in
+        let outs_false = List.map (fun t -> (get t).v_false) tgts in
+        let outs_true = List.map (fun t -> (get t).v_true) tgts in
+        let any l f = List.exists f l in
+        if
+          !taint
+          && any outs_true (fun o -> o.o_viol)
+          && not (any outs_false (fun o -> o.o_viol))
+        then
+          report line
+            (Printf.sprintf
+               "a reply released inside `%s' escapes while the append at \
+                line %d is not yet forced"
+               callee !tsite)
+            [ Printf.sprintf "undurable since line %d" !tsite ];
+        let outs = if !taint then outs_true else outs_false in
+        if List.for_all (fun o -> o.o_force) outs then pending := [];
+        if
+          !taint
+          && any outs_true (fun o -> o.o_pending)
+          && not (any outs_false (fun o -> o.o_pending))
+        then
+          pending :=
+            (line, Printf.sprintf "wake inside `%s'" callee, !tsite)
+            :: !pending;
+        let nt = any outs (fun o -> o.o_taint) in
+        if nt && not !taint then tsite := line;
+        taint := nt));
+  List.iter
+    (fun (line, what, site) ->
+      report line
+        (Printf.sprintf
+           "%s under an unforced append (line %d) with no force before the \
+            item returns"
+           what site)
+        [ Printf.sprintf "undurable since line %d, still unforced at exit"
+            site ])
+    (List.rev !pending)
+
+(* ---- entry point -------------------------------------------------------- *)
+
+let flow_check cg =
+  let acc = ref [] in
+  let ns = CG.nodes cg in
+  List.iter (r5_node acc) ns;
+  r7_check acc (lock_order_edges cg);
+  let r8 = r8_summaries cg in
+  List.iter (r8_node cg r8 acc) ns;
+  (* A helper expanded at several call sites can replay the same witness:
+     keep one finding per distinct (site, message). *)
+  let deduped = List.sort_uniq Stdlib.compare !acc in
+  List.sort F.compare deduped

@@ -441,10 +441,45 @@ module Trace = struct
     Buffer.contents b
 end
 
+module Lock_order = struct
+  (* Per-transaction first-acquisition order across lock-manager
+     instances, fed by the hooks in Rrq_txn.Lock at grant and release
+     points. [held] maps a live transaction to the instance classes it
+     holds, in first-acquisition order (head newest); [seen] is the edge
+     set the run accumulated. Lock transfers (strict-FIFO handoff) move
+     keys without a grant, so the receiving transaction under-reports —
+     the safe direction for an observed-⊆-static check. *)
+  let held : (string, string list) Hashtbl.t = Hashtbl.create 64
+  let seen : (string * string, unit) Hashtbl.t = Hashtbl.create 64
+
+  let clear () =
+    Hashtbl.reset held;
+    Hashtbl.reset seen
+
+  let note_acquire ~txid cls =
+    if !on then begin
+      let prior = Option.value ~default:[] (Hashtbl.find_opt held txid) in
+      if List.mem cls prior then
+        (* another key inside a class already held: a within-instance
+           re-acquisition, the self-edge *)
+        Hashtbl.replace seen (cls, cls) ()
+      else begin
+        List.iter (fun h -> Hashtbl.replace seen (h, cls) ()) prior;
+        Hashtbl.replace held txid (cls :: prior)
+      end
+    end
+
+  let note_release_all ~txid = if !on then Hashtbl.remove held txid
+
+  let edges () =
+    List.sort compare (Hashtbl.fold (fun e () acc -> e :: acc) seen [])
+end
+
 let reset ?(trace_capacity = 65536) () =
   Metrics.clear ();
   Trace.reset_ring trace_capacity;
   Trace.set_clock Trace.default_clock;
+  Lock_order.clear ();
   on := true
 
 let disable () = on := false

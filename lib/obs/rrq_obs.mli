@@ -125,6 +125,29 @@ module Event : sig
       [{"ts":..,"type":"..",...fields}]. *)
 end
 
+(** Observed lock-acquisition order, the runtime half of the R7
+    lock-order check: Rrq_txn.Lock's grant and release hooks report which
+    lock-manager {e instance} each transaction touches, in order, and the
+    accumulated instance-order edges are compared against rrq_lint's
+    static lock-order graph (observed ⊆ static) by bin/rrq_witness.
+    Like everything here: no-ops when recording is off. *)
+module Lock_order : sig
+  val note_acquire : txid:string -> string -> unit
+  (** A fresh grant of some key in the named instance class to [txid].
+      Records an edge from every class the transaction already holds,
+      or the self-edge on a within-class re-acquisition. *)
+
+  val note_release_all : txid:string -> unit
+  (** The transaction resolved; its held-class list is dropped.
+      Accumulated edges remain. *)
+
+  val edges : unit -> (string * string) list
+  (** Distinct observed (from, to) instance-order edges, sorted. *)
+
+  val clear : unit -> unit
+  (** Drop held state and edges (also done by {!reset}). *)
+end
+
 (** Bounded ring buffer of timestamped events. *)
 module Trace : sig
   val set_clock : (unit -> float) -> unit

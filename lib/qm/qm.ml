@@ -830,7 +830,7 @@ let open_qm ?commit_policy ?(triggers = []) disk ~name:qm_name =
       queues = Hashtbl.create 16;
       index = Eidtbl.create 256;
       regs = Hashtbl.create 32;
-      locks = Lock.create ();
+      locks = Lock.create ~name:"qm" ();
       workspaces = Hashtbl.create 16;
       prepared = Hashtbl.create 8;
       triggers = Hashtbl.create 4;

@@ -20,13 +20,28 @@ type entry = {
 }
 
 type t = {
+  lm_name : string; (* instance class for the lock-order witness *)
   table : (string, entry) Hashtbl.t;
   held : (Txid.t, (string, unit) Hashtbl.t) Hashtbl.t;
   waits : (Txid.t, entry * mode) Hashtbl.t; (* each tx waits on <=1 lock *)
 }
 
-let create () =
-  { table = Hashtbl.create 64; held = Hashtbl.create 64; waits = Hashtbl.create 16 }
+let create ?(name = "lock") () =
+  {
+    lm_name = name;
+    table = Hashtbl.create 64;
+    held = Hashtbl.create 64;
+    waits = Hashtbl.create 16;
+  }
+
+(* Lock-order witness hook, at every fresh grant (both grant points: the
+   immediate [attempt] path and the FIFO [pump] path) and at release-all.
+   [transfer] moves keys without a grant; the receiving transaction
+   under-reports, which is the safe direction for the witness's
+   observed-⊆-static containment check. *)
+let note_grant t tx =
+  if Rrq_obs.enabled () then
+    Rrq_obs.Lock_order.note_acquire ~txid:(Txid.to_string tx) t.lm_name
 
 let compatible a b = a = S && b = S
 let weaker_or_equal a b = a = b || (a = S && b = X)
@@ -82,6 +97,7 @@ let rec pump t e =
       if Sched.waker_live w.waker then begin
         set_granted e w.wtx (if is_upgrade then X else w.wmode);
         note_held t w.wtx e.key;
+        note_grant t w.wtx;
         ignore (Sched.wake w.waker Granted)
       end;
       pump t e
@@ -136,6 +152,7 @@ let attempt t tx e mode =
     if grantable then begin
       set_granted e tx (if is_upgrade then X else mode);
       note_held t tx e.key;
+      note_grant t tx;
       `Granted
     end
     else `Blocked conflicts
@@ -207,6 +224,8 @@ let cancel_waits t tx =
   end
 
 let release_all t tx =
+  if Rrq_obs.enabled () then
+    Rrq_obs.Lock_order.note_release_all ~txid:(Txid.to_string tx);
   cancel_waits t tx;
   if Hashtbl.length t.held > 0 then begin
     (match Hashtbl.find_opt t.held tx with

@@ -27,7 +27,13 @@ exception Cancelled
 
 type t
 
-val create : unit -> t
+val create : ?name:string -> unit -> t
+(** [name] (default ["lock"]) is the instance class the lock-order
+    witness reports under: every fresh grant and every release-all is
+    mirrored into [Rrq_obs.Lock_order] when observability is on (and
+    costs one boolean test when it is off). rrq_lint derives the same
+    class names statically, so observed order edges can be checked for
+    containment in the static lock-order graph. *)
 
 val acquire : ?timeout:float -> t -> Txid.t -> key:string -> mode -> unit
 (** Block until granted. Re-entrant; upgrades S to X when permissible.

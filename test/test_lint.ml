@@ -8,6 +8,7 @@
 module Driver = Rrq_lint.Driver
 module Rules = Rrq_lint.Rules
 module Finding = Rrq_lint.Finding
+module Callgraph = Rrq_lint.Callgraph
 module Swallow = Rrq_util.Swallow
 module Sched = Rrq_sim.Sched
 module Crashpoint = Rrq_sim.Crashpoint
@@ -29,6 +30,31 @@ let silent rule ?file src () =
     (Printf.sprintf "%s silent on: %s" rule src)
     []
     (List.filter (fun r -> r = rule) (rules_of fs))
+
+(* Multi-file variants, for the cross-module flow rules. *)
+let fires_multi rule sources () =
+  let fs = Driver.lint_sources sources in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s fires on multi-file fixture" rule)
+    true
+    (List.mem rule (rules_of fs))
+
+let silent_multi rule sources () =
+  let fs = Driver.lint_sources sources in
+  Alcotest.(check (list string))
+    (Printf.sprintf "%s silent on multi-file fixture" rule)
+    []
+    (List.filter (fun r -> r = rule) (rules_of fs))
+
+(* Call graph over in-memory fixtures. *)
+let graph_of sources =
+  Callgraph.build
+    (List.map
+       (fun (file, src) ->
+         match Driver.parse_impl ~file src with
+         | Ok str -> (file, str)
+         | Error f -> Alcotest.failf "fixture does not parse: %s" f.Finding.message)
+       sources)
 
 (* ---- R1: exception swallowing ----------------------------------------- *)
 
@@ -153,6 +179,219 @@ let r5_cases =
     ( "silent: blocking in a different item",
       silent "R5"
         "let f l id = Lock.acquire l id ~key:\"k\" X\nlet g c = Cond.wait c" );
+    (* Flow-sensitivity: what matters is where the helper is CALLED, not
+       where it is defined — the false negative the per-item pass had. *)
+    ( "fires: helper defined before the acquire, called after it",
+      fires "R5"
+        "let f l id c =\n\
+        \  let g () = Cond.wait c in\n\
+        \  Lock.acquire l id ~key:\"k\" X;\n\
+        \  g ()" );
+    ( "silent: helper defined under the lock, called after release",
+      silent "R5"
+        "let f l id c =\n\
+        \  Lock.acquire l id ~key:\"k\" X;\n\
+        \  let g () = Cond.wait c in\n\
+        \  Lock.release_all l id;\n\
+        \  g ()" );
+    ( "silent: helper called before the acquire",
+      silent "R5"
+        "let f l id c =\n\
+        \  let g () = Cond.wait c in\n\
+        \  g ();\n\
+        \  Lock.acquire l id ~key:\"k\" X" );
+    (* R5 expands local helpers but deliberately stops at top-level
+       callees: charging every transitive caller of a may-block function
+       (e.g. strict-FIFO [Qm.dequeue]) would restate the R7 summaries as
+       noise. Cross-item hold-and-wait is R7's domain. *)
+    ( "silent: blocking inside another top-level item called under lock",
+      silent "R5"
+        "let wait c = Cond.wait c\n\
+         let f l id c = Lock.acquire l id ~key:\"k\" X; wait c" );
+    ( "silent: blocking lambda stored in a record under lock",
+      silent "R5"
+        "let f l id c =\n\
+        \  Lock.acquire l id ~key:\"k\" X;\n\
+        \  { handler = (fun () -> Cond.wait c) }" );
+    ( "fires: Net.call under lock",
+      fires "R5"
+        "let f l id nd = Lock.acquire l id ~key:\"k\" X;\n\
+        \  ignore (Net.call nd ~dst:\"a\" ~service:\"s\" ())" );
+  ]
+
+(* ---- call graph --------------------------------------------------------- *)
+
+let callees_of g label =
+  match Callgraph.find g label with
+  | None -> Alcotest.failf "node %s not found" label
+  | Some id ->
+    List.sort String.compare
+      (List.map (Callgraph.label g) (Callgraph.callees g id))
+
+let cg_nested_modules () =
+  let g =
+    graph_of
+      [ ( "lib/a/kv.ml",
+          "module State = struct let relock x = x end\n\
+           let f y = State.relock y" ) ]
+  in
+  Alcotest.(check (list string)) "nested module edge" [ "Kv.State.relock" ]
+    (callees_of g "Kv.f")
+
+let cg_functor () =
+  let g =
+    graph_of
+      [ ("lib/a/rm.ml", "module Make (X : S) = struct let commit () = () end");
+        ( "lib/b/use.ml",
+          "module Base = Rm.Make (Arg)\nlet f () = Base.commit ()" );
+      ]
+  in
+  Alcotest.(check (list string)) "functor application resolves"
+    [ "Rm.Make.commit" ] (callees_of g "Use.f")
+
+let cg_shadowed_names () =
+  (* Equally named modules in different files: edges to every candidate —
+     the deliberate over-approximation. *)
+  let g =
+    graph_of
+      [ ("lib/a/store.ml", "let write () = ()");
+        ("lib/b/store.ml", "let write () = ()");
+        ("lib/c/use.ml", "let f () = Store.write ()");
+      ]
+  in
+  Alcotest.(check (list string)) "both candidates"
+    [ "Store.write"; "Store.write" ] (callees_of g "Use.f")
+
+let cg_first_class_module () =
+  let g =
+    graph_of
+      [ ( "lib/a/use.ml",
+          "let helper () = ()\n\
+           let f () = (module struct let x = helper end : S)" ) ]
+  in
+  (* The payload is a definition, not an execution: no edge. *)
+  Alcotest.(check (list string)) "no edge from module payload" []
+    (callees_of g "Use.f")
+
+let cg_mutual_recursion () =
+  let g =
+    graph_of
+      [ ( "lib/a/p.ml",
+          "let rec even n = if n = 0 then true else odd (n - 1)\n\
+           and odd n = if n = 0 then false else even (n - 1)" ) ]
+  in
+  Alcotest.(check (list string)) "even -> odd" [ "P.odd" ]
+    (callees_of g "P.even");
+  Alcotest.(check (list string)) "odd -> even" [ "P.even" ]
+    (callees_of g "P.odd")
+
+let cg_alias_resolution () =
+  let g =
+    graph_of
+      [ ("lib/txn/lock.ml", "let acquire l = l");
+        ( "lib/b/use.ml",
+          "module Lock = Rrq_txn.Lock\nlet f l = Lock.acquire l" );
+      ]
+  in
+  Alcotest.(check (list string)) "alias + library wrapping"
+    [ "Lock.acquire" ] (callees_of g "Use.f")
+
+let cg_under_application_is_edge () =
+  (* A partial application is still a graph edge (the closure escapes),
+     even though the flow rules refuse to charge its effects there. *)
+  let g =
+    graph_of
+      [ ( "lib/a/m.ml",
+          "let handler site txn env = ()\n\
+           let f start = start (handler 1)" ) ]
+  in
+  Alcotest.(check (list string)) "edge kept" [ "M.handler" ]
+    (callees_of g "M.f")
+
+(* ---- R7: lock order ----------------------------------------------------- *)
+
+(* Two lock-manager instances (classes from the directory basename: aa,
+   bb), each acquired through its own file. *)
+let r7_cross aa_body bb_body =
+  [ ("lib/aa/ma.ml", aa_body); ("lib/bb/mb.ml", bb_body) ]
+
+let r7_cycle_fixture =
+  r7_cross
+    "let take l id = Lock.acquire l id ~key:\"k\" X\n\
+     let cross l id = take l id; Mb.take l id"
+    "let take l id = Lock.acquire l id ~key:\"k\" X\n\
+     let cross l id = take l id; Ma.take l id"
+
+let r7_consistent_fixture =
+  (* Both files acquire in the same global order: aa before bb. *)
+  r7_cross
+    "let take l id = Lock.acquire l id ~key:\"k\" X\n\
+     let cross l id = take l id; Mb.take l id"
+    "let take l id = Lock.acquire l id ~key:\"k\" X\n\
+     let cross l id = Ma.take l id; take l id"
+
+let r7_release_between_fixture =
+  r7_cross
+    "let take l id = Lock.acquire l id ~key:\"k\" X\n\
+     let cross l id = take l id; Lock.release_all l id; Mb.take l id"
+    "let take l id = Lock.acquire l id ~key:\"k\" X\n\
+     let cross l id = take l id; Lock.release_all l id; Ma.take l id"
+
+let r7_edges_of sources =
+  let g = graph_of sources in
+  List.map (fun e -> (e.Rules.e_from, e.Rules.e_to)) (Rules.lock_order_edges g)
+
+let r7_edge_set () =
+  let edges = r7_edges_of r7_cycle_fixture in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "edge %s -> %s present" (fst e) (snd e))
+        true (List.mem e edges))
+    [ ("aa", "bb"); ("bb", "aa"); ("aa", "aa"); ("bb", "bb") ]
+
+let r7_cases =
+  [
+    ("fires: opposite acquisition orders", fires_multi "R7" r7_cycle_fixture);
+    ( "silent: one global acquisition order",
+      silent_multi "R7" r7_consistent_fixture );
+    ( "silent: release between the two managers",
+      silent_multi "R7" r7_release_between_fixture );
+    ("edge set has both cross edges and self edges", r7_edge_set);
+  ]
+
+(* ---- R8: durability before reply --------------------------------------- *)
+
+let r8_cases =
+  [
+    ( "fires: reply released under an unforced append",
+      fires "R8" "let f w iv = Wal.append w \"r\"; Ivar.fill iv 0" );
+    ( "silent: sync before the reply",
+      silent "R8" "let f w iv = Wal.append w \"r\"; Wal.sync w; Ivar.fill iv 0"
+    );
+    ( "fires: wakeup pending at exit with no force",
+      fires "R8" "let f w c = Wal.append w \"r\"; Cond.signal c" );
+    ( "silent: wakeup pending, force before exit",
+      silent "R8"
+        "let f w c = Wal.append w \"r\"; Cond.signal c; Wal.sync w" );
+    ( "fires: taint introduced by a callee",
+      fires "R8"
+        "let stage w = Wal.append w \"r\"\n\
+         let f w iv = stage w; Ivar.fill iv 0" );
+    ( "silent: callee forces before returning",
+      silent "R8"
+        "let stage w = Wal.append w \"r\"; Wal.sync w\n\
+         let f w iv = stage w; Ivar.fill iv 0" );
+    ( "silent: no durability traffic at all",
+      silent "R8" "let f iv = Ivar.fill iv 0" );
+    ( "fires: group-commit append without force before net send",
+      fires "R8"
+        "let f gc nd = ignore (Group_commit.append gc \"r\");\n\
+        \  ignore (Net.call nd ~dst:\"a\" ~service:\"s\" ())" );
+    ( "silent: append_force before net send",
+      silent "R8"
+        "let f gc nd = ignore (Group_commit.append_force gc \"r\");\n\
+        \  ignore (Net.call nd ~dst:\"a\" ~service:\"s\" ())" );
   ]
 
 (* ---- R6: interface coverage -------------------------------------------- *)
@@ -189,6 +428,7 @@ let finding ~rule ~file ~item =
     item;
     message = "m";
     hint = "h";
+    detail = [];
   }
 
 let baseline_suppresses () =
@@ -273,6 +513,18 @@ let () =
       ("r3", List.map (fun (n, f) -> quick n f) r3_cases);
       ("r4", List.map (fun (n, f) -> quick n f) r4_cases);
       ("r5", List.map (fun (n, f) -> quick n f) r5_cases);
+      ( "callgraph",
+        [
+          quick "nested modules" cg_nested_modules;
+          quick "functor application" cg_functor;
+          quick "shadowed module names: every candidate" cg_shadowed_names;
+          quick "first-class module payload: no edge" cg_first_class_module;
+          quick "mutually recursive bindings" cg_mutual_recursion;
+          quick "module alias + library wrapping" cg_alias_resolution;
+          quick "under-application still an edge" cg_under_application_is_edge;
+        ] );
+      ("r7", List.map (fun (n, f) -> quick n f) r7_cases);
+      ("r8", List.map (fun (n, f) -> quick n f) r8_cases);
       ( "r6",
         [ quick "fires: missing mli" r6_fires; quick "silent: covered" r6_silent ]
       );
