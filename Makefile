@@ -1,6 +1,6 @@
 # Convenience targets; dune does the real work. See doc/CI.md.
 
-.PHONY: all build test quick-test lint lint-graph witness check sim stats bench bench-smoke clean
+.PHONY: all build test quick-test lint lint-graph witness check sim ha-check stats bench bench-smoke clean
 
 all: build
 
@@ -38,6 +38,14 @@ witness:
 sim:
 	dune exec bin/rrq_demo.exe -- check --budget 25
 	dune exec bin/rrq_demo.exe -- check --sites
+
+# The failover campaign alone (also runs as part of `dune runtest`):
+# HA explorer + lag-bug catch + replication crash-site sweep, then the
+# B15 failover-latency benchmark at smoke scale.
+ha-check:
+	dune exec test/test_ha.exe
+	dune exec test/test_check.exe -- test ha
+	dune exec bench/main.exe -- --smoke --only B15
 
 # Observability smoke: a fault-free recorded run, metrics registry dump.
 stats:

@@ -89,8 +89,11 @@ let check_cmd =
   let module C = Rrq_check in
   let scenario_arg =
     Arg.(value & opt string "quickstart" & info [ "scenario" ] ~docv:"NAME"
-           ~doc:"Scenario to check: quickstart (correct protocol) or buggy \
-                 (clerk with untagged blind re-sends).")
+           ~doc:"Scenario to check: quickstart (correct protocol), \
+                 quickstart-mm (main-memory queue fast path), ha \
+                 (primary-backup pair under crash/partition faults), \
+                 ha-lagged (lag-buggy WAL shipper - a designed catchable \
+                 anomaly) or buggy (clerk with untagged blind re-sends).")
   in
   let budget =
     Arg.(value & opt int 200 & info [ "budget" ] ~docv:"N"
@@ -125,7 +128,7 @@ let check_cmd =
       match C.Scenario.by_name scen_name with
       | Some s -> s
       | None ->
-        Printf.eprintf "unknown scenario %S (try quickstart or buggy)\n" scen_name;
+        Printf.eprintf "unknown scenario %S (try quickstart, quickstart-mm, ha, ha-lagged or buggy)\n" scen_name;
         exit 2
     in
     if sites then begin
@@ -217,7 +220,7 @@ let stats_cmd =
       match C.Scenario.by_name scen_name with
       | Some s -> s
       | None ->
-        Printf.eprintf "unknown scenario %S (try quickstart or buggy)\n" scen_name;
+        Printf.eprintf "unknown scenario %S (try quickstart, quickstart-mm, ha, ha-lagged or buggy)\n" scen_name;
         exit 2
     in
     let plan = C.Plan.make ~seed ~policy:`Fifo ~faults:[] in

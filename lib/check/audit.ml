@@ -166,6 +166,48 @@ let exactly_once_trace () =
         end
       end)
 
+(* Every request must yield exactly one reply, counting both the copies
+   the client already consumed ([received]) and the copies still sitting
+   in reply queues. Catches the speculative-reply double: a lagged primary
+   that replies before shipping dies, the backup re-executes, and the
+   client's retried Receive can observe two replies for one rid. [sites]
+   must resolve to the authoritative repository only — a warm standby
+   holds replicated copies of the same reply elements by design. *)
+let reply_delivery ~sites ~received ~rids =
+  make "reply-delivery" (fun () ->
+      let queued rid =
+        List.fold_left
+          (fun acc site ->
+            let qm = Site.qm site in
+            List.fold_left
+              (fun acc q ->
+                if String.length q >= 6 && String.sub q 0 6 = "reply." then
+                  acc
+                  + List.length
+                      (List.filter
+                         (fun el ->
+                           match Envelope.of_string el.Element.payload with
+                           | env -> env.Envelope.rid = rid
+                           | exception e when Rrq_util.Swallow.nonfatal e ->
+                             false)
+                         (Qm.elements qm q))
+                else acc)
+              acc (Qm.queue_names qm))
+          0 (sites ())
+      in
+      let problems =
+        List.filter_map
+          (fun rid ->
+            let n = received rid + queued rid in
+            if n = 1 then None
+            else if n = 0 then Some (rid ^ ": no reply delivered or queued")
+            else Some (Printf.sprintf "%s: %d replies (received+queued)" rid n))
+          (rids ())
+      in
+      match problems with
+      | [] -> None
+      | ps -> Some (String.concat "; " ps))
+
 (* After quiescence with every site up, no transaction may still be in
    doubt: the resolver daemons must have settled every prepared txn. *)
 let no_in_doubt ~sites =
@@ -174,14 +216,14 @@ let no_in_doubt ~sites =
         List.concat_map
           (fun site ->
             List.map
-              (fun (id, _coord) ->
-                Printf.sprintf "%s: %s" (Site.site_name site)
-                  (Rrq_txn.Txid.to_string id))
+              (fun (id, coord) ->
+                Printf.sprintf "%s: %s (coord %s)" (Site.site_name site)
+                  (Rrq_txn.Txid.to_string id) coord)
               (Qm.in_doubt (Site.qm site))
             @ List.map
-                (fun (id, _coord) ->
-                  Printf.sprintf "%s(kv): %s" (Site.site_name site)
-                    (Rrq_txn.Txid.to_string id))
+                (fun (id, coord) ->
+                  Printf.sprintf "%s(kv): %s (coord %s)" (Site.site_name site)
+                    (Rrq_txn.Txid.to_string id) coord)
                 (Kvdb.in_doubt (Site.kv site)))
           (sites ())
       in

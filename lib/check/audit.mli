@@ -54,6 +54,17 @@ val queue_integrity : sites:(unit -> Rrq_core.Site.t list) -> auditor
     and non-negative delivery counts. (Committed enqueue/dequeue counters
     are per-incarnation, so they are deliberately not compared here.) *)
 
+val reply_delivery :
+  sites:(unit -> Rrq_core.Site.t list) ->
+  received:(string -> int) ->
+  rids:(unit -> string list) ->
+  auditor
+(** Exactly one reply per request, counting consumed replies ([received
+    rid]) plus copies still queued in [reply.*] queues on the given sites.
+    Pass only the authoritative repository of an HA pair — the standby
+    holds replicated copies by design. Catches duplicate replies released
+    by a speculative (lagged-shipping) primary that died before shipping. *)
+
 val no_in_doubt : sites:(unit -> Rrq_core.Site.t list) -> auditor
 (** After quiescence with all sites up, no prepared transaction may remain
     unresolved (the resolver daemons must have settled 2PC in-doubts). *)

@@ -21,6 +21,8 @@ module Site = Rrq_core.Site
 module Server = Rrq_core.Server
 module Clerk = Rrq_core.Clerk
 module Envelope = Rrq_core.Envelope
+module Ha = Rrq_core.Ha
+module Kvdb = Rrq_kvdb.Kvdb
 
 type outcome = {
   findings : Audit.finding list;
@@ -253,6 +255,243 @@ let quickstart_mm_crash_at ~site ~hit ~recover_after =
   run_quickstart ~queue_attrs:mm_attrs ~commit_policy:mm_policy
     ~armed:(site, hit, recover_after) fault_free
 
+(* ---- HA pair: primary-backup WAL shipping with clerk failover ----------- *)
+
+let ha_clients = 2
+let ha_reqs = 2
+
+let ha_rids =
+  List.concat
+    (List.init ha_clients (fun c ->
+         List.init ha_reqs (fun r -> Printf.sprintf "h%d-r%d" c r)))
+
+(* Like [good_client], but connected to the HA pair (backup rotation) and
+   counting every received reply per rid — the [reply_delivery] auditor's
+   evidence of what escaped to the client. *)
+let ha_client ~client_node ~id ~received ~replies () =
+  let client_id = Printf.sprintf "h%d" id in
+  let rec connect n =
+    match
+      Clerk.connect ~client_node ~system:"primary" ~backups:[ "backup" ]
+        ~client_id ~req_queue:"req" ~retries:8 ()
+    with
+    | clerk, _ -> clerk
+    | exception Clerk.Unavailable _ when n > 0 ->
+      Sched.sleep 1.0;
+      connect (n - 1)
+  in
+  let clerk = connect 60 in
+  for r = 0 to ha_reqs - 1 do
+    let rid = Printf.sprintf "%s-r%d" client_id r in
+    let rec send n =
+      try ignore (Clerk.send clerk ~rid ("work:" ^ rid))
+      with Clerk.Unavailable _ when n > 0 ->
+        Sched.sleep 1.0;
+        send (n - 1)
+    in
+    send 60;
+    let deadline = Sched.clock () +. 60.0 in
+    let rec recv () =
+      let reply =
+        try Clerk.receive clerk ~timeout:2.0 ()
+        with Clerk.Unavailable _ ->
+          Sched.sleep 1.0;
+          None
+      in
+      match reply with
+      | Some env when env.Envelope.kind <> "intermediate" ->
+        let rrid = env.Envelope.rid in
+        Hashtbl.replace received rrid
+          (1 + Option.value ~default:0 (Hashtbl.find_opt received rrid));
+        incr replies;
+        (* A stray duplicate of an older request: keep waiting for ours. *)
+        if rrid <> rid && Sched.clock () < deadline then recv ()
+      | _ -> if Sched.clock () < deadline then recv ()
+    in
+    recv ()
+  done
+
+(* Faults dispatched by node name: the HA world has two crashable
+   repositories, so [Plan.Crash]'s node field finally matters. *)
+let inject_named sched net sites (plan : Plan.t) =
+  List.iter
+    (fun fault ->
+      match fault with
+      | Plan.Crash { node; at; recover_after } -> (
+        match List.assoc_opt node sites with
+        | None -> ()
+        | Some site ->
+          Sched.at sched at (fun () ->
+              if Net.is_up (Site.node site) then
+                Site.crash_restart site ~after:recover_after))
+      | Plan.Partition { a; b; at; heal_after } ->
+        Sched.at sched at (fun () ->
+            Net.partition net a b;
+            Sched.at sched
+              (Sched.now sched +. heal_after)
+              (fun () -> Net.heal net a b)))
+    plan.Plan.faults
+
+(* [armed] installs a one-shot kill of [victim] (a node name) at a named
+   crash site — which may be reached on the {e other} node: killing the
+   primary at ["ship.applied"] fires from the backup's apply fiber. *)
+let run_ha ?armed ?(mode = Ha.Sync) ?policy (plan : Plan.t) =
+  let pol = match policy with Some p -> p | None -> Plan.sched_policy plan in
+  let replies = ref 0 in
+  let clients_done = ref 0 in
+  let received : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let body () =
+    let (findings, vt), sched =
+      Runner.run_scenario_traced ~policy:pol (fun s ->
+          let net =
+            Net.create ~latency:0.005 s (Rng.create ((plan.Plan.seed * 7) + 1))
+          in
+          let site_p =
+            Site.create
+              ~queues:[ ("req", Qm.default_attrs) ]
+              ~stale_timeout:3.0
+              (Net.make_node net "primary")
+          in
+          let site_b =
+            Site.create
+              ~queues:[ ("req", Qm.default_attrs) ]
+              ~stale_timeout:3.0
+              (Net.make_node net "backup")
+          in
+          let serve ha =
+            ignore
+              (Server.start_here (Ha.site ha) ~req_queue:"req" ~threads:2
+                 Audit.counting_handler)
+          in
+          let _ha_p =
+            Ha.attach ~mode ~on_serving:serve site_p ~peer:"backup"
+              ~role:Ha.Primary
+          in
+          let ha_b =
+            Ha.attach ~mode ~on_serving:serve site_b ~peer:"primary"
+              ~role:Ha.Standby
+          in
+          let client_node = Net.make_node net "client" in
+          inject_named s net [ ("primary", site_p); ("backup", site_b) ] plan;
+          (match armed with
+          | None -> ()
+          | Some (cp_site, hit, victim, recover_after) ->
+            Crashpoint.reset ();
+            Crashpoint.arm ~site:cp_site ~hit (fun () ->
+                let node = Net.node net victim in
+                if Net.is_up node then begin
+                  let disk = Net.disk node in
+                  Disk.kill_now disk;
+                  Sched.note_fault s
+                    ("crashpoint " ^ cp_site ^ " kills " ^ victim);
+                  Net.crash node;
+                  Disk.revive disk;
+                  Sched.at s
+                    (Sched.now s +. recover_after)
+                    (fun () -> Net.restart node)
+                end;
+                if
+                  Sched.in_fiber ()
+                  && Sched.fiber_group (Sched.self ()) = Some victim
+                then Crashpoint.crash ()));
+          fun () ->
+            for c = 0 to ha_clients - 1 do
+              ignore
+                (Sched.fork ~name:(Printf.sprintf "haclient%d" c) (fun () ->
+                     ha_client ~client_node ~id:c ~received ~replies ();
+                     incr clients_done))
+            done;
+            ignore
+              (Runner.await ~timeout:300.0 (fun () ->
+                   !clients_done = ha_clients));
+            (* settle: failover, rejoin, resync, resolvers, janitors *)
+            Sched.sleep 25.0;
+            (* The authoritative repository: the promoted backup if it took
+               over, else the (possibly recovered) original primary. *)
+            let auth () =
+              if Ha.is_serving ha_b then [ site_b ] else [ site_p ]
+            in
+            let both () = [ site_p; site_b ] in
+            let auditors =
+              [
+                Audit.exactly_once ~sites:auth ~rids:(fun () -> ha_rids);
+                Audit.conservation ~name:"exec-total"
+                  ~expected:(List.length ha_rids)
+                  ~actual:(fun () ->
+                    match
+                      Kvdb.committed_value (Site.kv (List.hd (auth ()))) "total"
+                    with
+                    | Some v ->
+                      Option.value ~default:0 (int_of_string_opt v)
+                    | None -> 0);
+                Audit.reply_delivery ~sites:auth
+                  ~received:(fun rid ->
+                    Option.value ~default:0 (Hashtbl.find_opt received rid))
+                  ~rids:(fun () -> ha_rids);
+                Audit.queue_integrity ~sites:both;
+                Audit.no_in_doubt ~sites:both;
+              ]
+            in
+            (Audit.run auditors, Sched.clock ()))
+    in
+    {
+      findings;
+      trace = Sched.trace sched;
+      trace_truncated = Sched.trace_truncated sched;
+      requests = List.length ha_rids;
+      replies = !replies;
+      virtual_time = vt;
+    }
+  in
+  match armed with
+  | None -> body ()
+  | Some _ -> Fun.protect ~finally:Crashpoint.disable body
+
+let ha_profile =
+  {
+    Plan.crash_nodes = [ "primary" ];
+    partition_pairs = [ ("client", "primary") ];
+    horizon = 6.0;
+    max_faults = 3;
+  }
+
+let ha =
+  {
+    name = "ha";
+    profile = ha_profile;
+    run = (fun ?policy plan -> run_ha ?policy plan);
+  }
+
+(* The deliberately lag-buggy shipper: replies released up to a second
+   ahead of the backup. Fault-free it passes every auditor; kill the
+   primary inside the lag window and the promoted backup either never saw
+   an acknowledged request (exactly-once: lost) or re-executes one whose
+   reply already escaped (reply-delivery: 2 replies). The explorer must
+   find this and ddmin must shrink it to the one killing crash. *)
+let ha_lagged =
+  {
+    name = "ha-lagged";
+    profile = ha_profile;
+    run = (fun ?policy plan -> run_ha ~mode:(Ha.Lagged 1.0) ?policy plan);
+  }
+
+(* ---- HA crash-site sweep entry points ----------------------------------- *)
+
+(* A plan whose primary kill makes the failover path (heartbeat-miss,
+   promote) reachable, so the probe discovers the ha.* sites. *)
+let ha_probe_plan =
+  Plan.make ~seed:0 ~policy:`Fifo
+    ~faults:[ Plan.Crash { node = "primary"; at = 2.0; recover_after = 6.0 } ]
+
+let ha_crash_sites () =
+  Crashpoint.reset ();
+  Fun.protect ~finally:Crashpoint.disable (fun () ->
+      ignore (run_ha ha_probe_plan);
+      Crashpoint.hit_counts ())
+
+let ha_crash_at ~site ~hit ~victim ~recover_after =
+  run_ha ~armed:(site, hit, victim, recover_after) ha_probe_plan
+
 (* ---- buggy clerk: untagged Send, blind retry ---------------------------- *)
 
 let buggy_reqs = 6
@@ -366,7 +605,7 @@ let buggy_clerk =
 
 (* ---- registry ----------------------------------------------------------- *)
 
-let all = [ quickstart; quickstart_mm; buggy_clerk ]
+let all = [ quickstart; quickstart_mm; ha; ha_lagged; buggy_clerk ]
 
 let by_name n = List.find_opt (fun t -> t.name = n) all
 

@@ -35,6 +35,20 @@ val quickstart_mm : t
     redo records hit the WAL, and recovery rebuilds queue state from the
     redo scan. Exactly-once must hold exactly as in the stable variant. *)
 
+val ha : t
+(** The HA pair ({!Rrq_core.Ha}): a primary and a warm standby joined by
+    synchronous WAL shipping, 2 clerks (with backup rotation) x 2 requests
+    against counting servers that run only on the serving node. The plan
+    space kills the primary and partitions it from the client; exactly-once,
+    conservation, reply-delivery, queue-integrity and no-in-doubt must hold
+    through any failover the plan provokes. *)
+
+val ha_lagged : t
+(** The deliberately lag-buggy variant: shipping drains only once per
+    second ([Lagged 1.0]), so replies are speculative. Fault-free it
+    passes; a primary kill inside the lag window loses or duplicates a
+    conversation, which the explorer must find and ddmin must shrink. *)
+
 val buggy_clerk : t
 (** A deliberately broken client: untagged Sends and a blind re-Send on
     reply timeout with no rid check. Passes fault-free; duplicates requests
@@ -68,6 +82,19 @@ val quickstart_mm_crash_at :
   site:string -> hit:int -> recover_after:float -> outcome
 (** {!quickstart_crash_at} over the main-memory request queue: redo-only
     recovery must still deliver exactly-once at every crash site. *)
+
+val ha_crash_sites : unit -> (string * int) list
+(** Probe the HA world under a plan that kills the primary at t=2 (so the
+    heartbeat-miss/promote path is reached) and enumerate every crash site
+    hit — including the replication sites [ship.sent], [ship.applied],
+    [ha.heartbeat_miss] and [ha.promote]. *)
+
+val ha_crash_at :
+  site:string -> hit:int -> victim:string -> recover_after:float -> outcome
+(** Re-run the probe plan with a one-shot kill of [victim] (["primary"] or
+    ["backup"]) armed at the [hit]-th reach of [site]. The site may be
+    reached on the other node: killing the primary at [ship.applied] fires
+    from the backup's apply fiber, modeling death with the ack in flight. *)
 
 (** {1 Recorded runs}
 

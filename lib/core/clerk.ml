@@ -3,7 +3,13 @@ module Sched = Rrq_sim.Sched
 
 type t = {
   cnode : Net.node;
-  system : string;
+  (* Current candidate primary. [ring] holds every repository node the
+     clerk may talk to (configured system first); an unreachable or
+     standby-gated candidate rotates [system] to the next one, which is
+     all the client-side failover there is — duplicate suppression via
+     registration tags makes the retry against the new primary safe. *)
+  mutable system : string;
+  ring : string list;
   client_id : string;
   req_queue : string;
   reply_q : string;
@@ -48,6 +54,17 @@ let transition t event =
               (Client_fsm.event_to_string event)
               (Client_fsm.state_to_string t.fsm)))
 
+let rotate t =
+  match t.ring with
+  | [] | [ _ ] -> ()
+  | ring ->
+    let rec next = function
+      | a :: b :: _ when a = t.system -> b
+      | _ :: tl -> next tl
+      | [] -> List.hd ring
+    in
+    t.system <- next ring
+
 let rpc ?(extra_timeout = 0.0) t msg =
   let rec go attempts_left =
     match
@@ -60,6 +77,7 @@ let rpc ?(extra_timeout = 0.0) t msg =
       if attempts_left <= 0 then
         raise (Unavailable (Printf.sprintf "system %s unreachable" t.system))
       else begin
+        rotate t;
         Sched.sleep (0.5 *. t.rpc_timeout);
         go (attempts_left - 1)
       end
@@ -101,12 +119,13 @@ let do_connect t =
     | Some _, _ -> Client_fsm.Connect_req_sent);
   { s_rid; r_rid; ckpt }
 
-let connect ~client_node ~system ~client_id ~req_queue ?reply_queue
-    ?(rpc_timeout = 1.0) ?(retries = 10) ?(strict = false) () =
+let connect ~client_node ~system ?(backups = []) ~client_id ~req_queue
+    ?reply_queue ?(rpc_timeout = 1.0) ?(retries = 10) ?(strict = false) () =
   let t =
     {
       cnode = client_node;
       system;
+      ring = system :: List.filter (fun b -> b <> system) backups;
       client_id;
       req_queue;
       reply_q =
@@ -273,3 +292,4 @@ let cancel_request_anywhere t ~sites ~rid =
 
 let last_sent_eid t = t.last_eid
 let state t = t.fsm
+let system t = t.system

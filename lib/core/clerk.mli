@@ -40,12 +40,18 @@ exception Protocol_violation of string
     previous reply was received). *)
 
 val connect :
-  client_node:Rrq_net.Net.node -> system:string -> client_id:string ->
+  client_node:Rrq_net.Net.node -> system:string -> ?backups:string list ->
+  client_id:string ->
   req_queue:string -> ?reply_queue:string -> ?rpc_timeout:float ->
   ?retries:int -> ?strict:bool -> unit -> t * connect_info
 (** Register the client with the request queue and its private reply queue
     (created-by-convention name ["reply." ^ client_id] unless given),
     both on the [system] site. Returns the resynchronization info.
+    [backups] (default none) are candidate primaries for an HA pair
+    ({!Ha}): when the current system times out or rejects as a standby,
+    the clerk rotates to the next candidate and retries — mid-conversation
+    failover, with the registration-tag duplicate suppression making the
+    retried Send/Receive exactly-once.
     With [strict] (default false) every operation is checked against the
     fig. 1/7 state machine and {!Protocol_violation} is raised on an
     illegal sequence; retrying the {e same} Send or Receive is always
@@ -102,6 +108,9 @@ val cancel_request_anywhere : t -> sites:string list -> rid:string -> bool
     carrying this client's rid on any of the listed sites. Works after the
     request moved between queues (forwarding, pipelines), where the
     original eid no longer exists (§11's element-identity point). *)
+
+val system : t -> string
+(** The repository node the clerk currently believes is primary. *)
 
 val last_sent_eid : t -> int64 option
 

@@ -1,0 +1,453 @@
+module Net = Rrq_net.Net
+module Sched = Rrq_sim.Sched
+module Crashpoint = Rrq_sim.Crashpoint
+module Disk = Rrq_storage.Disk
+module Wal = Rrq_wal.Wal
+module Group_commit = Rrq_wal.Group_commit
+module Tm = Rrq_txn.Tm
+module Txid = Rrq_txn.Txid
+module Qm = Rrq_qm.Qm
+module Kvdb = Rrq_kvdb.Kvdb
+
+type stream = S_tm | S_qm | S_kv
+
+let stream_to_string = function S_tm -> "tm" | S_qm -> "qm" | S_kv -> "kv"
+
+type role = Primary | Standby
+
+let role_to_string = function Primary -> "primary" | Standby -> "standby"
+
+type mode = Sync | Lagged of float
+
+type Net.payload +=
+  | Ship of { epoch : int; stream : stream; batch : (int * string) list }
+  | Ship_ok
+  | Ship_stale of int  (** Receiver's (higher) epoch: the sender is deposed. *)
+  | Hb of int
+  | Hb_ok of int
+  | Ha_install of { epoch : int; qm_snap : string; kv_snap : string }
+  | Ha_query
+  | R_ha_role of { role : role; epoch : int }
+
+type t = {
+  site : Site.t;
+  peer : string;
+  mode : mode;
+  hb_every : float;
+  miss_limit : int;
+  ship_timeout : float;
+  cold : bool;
+  replay_bytes_per_sec : float;
+  on_serving : t -> unit;
+  mutable role : role;
+  mutable epoch : int;
+  (* Primary side: the shipping link. [link_up] means shippers are
+     installed; [synced] means the peer holds our snapshot, so ship rounds
+     may proceed (rounds that race the install park on this flag). *)
+  mutable link_up : bool;
+  mutable synced : bool;
+  (* Standby side: shipped TM decision stream, kept in its own WAL so a
+     backup crash recovers the decision table natively. *)
+  mutable tmship : Wal.t option;
+  decisions : (Txid.t, unit) Hashtbl.t;
+  mutable applied_bytes : int;
+  (* Accounting. *)
+  mutable n_ship_batches : int;
+  mutable n_failovers : int;
+  mutable n_degrades : int;
+  mutable n_resyncs : int;
+  mutable last_promote_at : float;
+  (* Standby side: virtual time of the last ha-service message from the
+     peer. A primary that is alive keeps talking (rejoin query, resync,
+     ship rounds) even when heartbeat probes sent during its outage are
+     still timing out; the monitor must not promote over it. *)
+  mutable last_peer_seen : float;
+}
+
+(* ---- durable role ----------------------------------------------------- *)
+
+let role_file = "ha.role"
+
+let read_role disk =
+  match Disk.read_file disk role_file with
+  | None -> None
+  | Some s -> (
+    match String.split_on_char ' ' (String.trim s) with
+    | [ "primary"; e ] -> Some (Primary, int_of_string e)
+    | [ "standby"; e ] -> Some (Standby, int_of_string e)
+    | _ -> None)
+
+let write_role t role epoch =
+  Disk.replace_atomic
+    (Net.disk (Site.node t.site))
+    role_file
+    (Printf.sprintf "%s %d" (role_to_string role) epoch);
+  t.role <- role;
+  t.epoch <- epoch
+
+(* ---- accessors -------------------------------------------------------- *)
+
+let site t = t.site
+let peer t = t.peer
+let role t = t.role
+let epoch t = t.epoch
+let is_serving t = t.role = Primary && not (Site.is_standby t.site)
+let shipping t = t.link_up
+let failovers t = t.n_failovers
+let degrades t = t.n_degrades
+let resyncs t = t.n_resyncs
+let ship_batches t = t.n_ship_batches
+let applied_bytes t = t.applied_bytes
+let last_promote_at t = t.last_promote_at
+
+let gcs t =
+  [
+    (S_tm, Tm.group_commit (Site.tm t.site));
+    (S_qm, Qm.group_commit (Site.qm t.site));
+    (S_kv, Kvdb.group_commit (Site.kv t.site));
+  ]
+
+let pending_ship t =
+  List.fold_left (fun acc (_, gc) -> acc + Group_commit.pending_ship gc) 0 (gcs t)
+
+(* ---- primary: degrade / shipping ------------------------------------- *)
+
+let clear_shippers t =
+  List.iter (fun (_, gc) -> Group_commit.clear_shipper gc) (gcs t)
+
+(* Peer lost (or deposed us): stop shipping and run standalone; the link
+   daemon keeps probing and re-establishes with a full snapshot resync. *)
+let degrade t =
+  if t.link_up then begin
+    t.link_up <- false;
+    t.synced <- false;
+    t.n_degrades <- t.n_degrades + 1;
+    clear_shippers t
+  end
+
+(* A peer with a higher epoch answered: this node was failed over while it
+   was away. Crash-restart; the boot-time rejoin check demotes it cleanly
+   (killing its server fibers with it — a deposed primary must not keep
+   executing requests). *)
+let deposed t =
+  degrade t;
+  Net.crash_restart (Site.node t.site) ~after:0.05
+
+let ship_rpc t msg =
+  Net.call (Site.node t.site) ~timeout:t.ship_timeout ~dst:t.peer ~service:"ha"
+    msg
+
+(* The shipper callback, run inside a ship-leader fiber (committers parked
+   behind it in sync mode). Must not raise: failures degrade the link. *)
+let ship t stream batch =
+  if t.link_up then begin
+    while t.link_up && not t.synced do
+      Sched.sleep_background 0.01
+    done;
+    if t.link_up then begin
+      match ship_rpc t (Ship { epoch = t.epoch; stream; batch }) with
+      | Ship_ok ->
+        t.n_ship_batches <- t.n_ship_batches + 1;
+        (* The backup holds the batch; the primary has not yet released the
+           committer (sync mode) nor replied to any client. *)
+        Crashpoint.reach "ship.sent"
+      | Ship_stale _ -> deposed t
+      | _ -> degrade t
+      | exception (Net.Rpc_timeout | Net.Service_error _) -> degrade t
+    end
+  end
+
+(* No committer may sit between append and apply while we capture: a fiber
+   parked in a log force has appended records the snapshot cannot see and
+   the (about-to-be-installed) shipper will never retain. Quiesce first. *)
+let quiesced t =
+  List.for_all
+    (fun w -> Wal.appended_lsn w = Wal.durable_lsn w)
+    [
+      Tm.group_commit (Site.tm t.site) |> Group_commit.wal;
+      Qm.group_commit (Site.qm t.site) |> Group_commit.wal;
+      Kvdb.group_commit (Site.kv t.site) |> Group_commit.wal;
+    ]
+
+let attempt_resync t =
+  match ship_rpc t Ha_query with
+  | R_ha_role { role = Primary; epoch } when epoch > t.epoch -> deposed t
+  | R_ha_role { role = Standby; _ } | R_ha_role { role = Primary; _ } ->
+    (* Peer reachable and not ahead of us: bring it up to date. Force the
+       logs out rather than waiting for them to drain on their own: a
+       lazily appended record with no force of its own (a TM end record,
+       say) would keep the appended LSN ahead of the durable LSN forever.
+       A committer parked mid-force is covered by the same sync, and the
+       loop re-checks until the logs hold still. *)
+    while not (quiesced t) do
+      List.iter (fun (_, gc) -> Group_commit.force gc) (gcs t);
+      Sched.sleep_background 0.005
+    done;
+    (* From here to the last [set_shipper] there must be no yield: the
+       snapshots and the retained-record sets must cut the three logs at
+       one instant. Ship rounds triggered meanwhile park on [synced]. *)
+    let qm_snap = Qm.snapshot_image (Site.qm t.site) in
+    let kv_snap = Kvdb.encode_snapshot (Site.kv t.site) in
+    let sync = t.mode = Sync in
+    List.iter
+      (fun (stream, gc) -> Group_commit.set_shipper ~sync gc (ship t stream))
+      (gcs t);
+    t.link_up <- true;
+    t.synced <- false;
+    (match ship_rpc t (Ha_install { epoch = t.epoch; qm_snap; kv_snap }) with
+    | Net.Ack ->
+      t.synced <- true;
+      t.n_resyncs <- t.n_resyncs + 1
+    | Ship_stale _ -> deposed t
+    | _ -> degrade t
+    | exception (Net.Rpc_timeout | Net.Service_error _) -> degrade t)
+  | _ -> ()
+  | exception (Net.Rpc_timeout | Net.Service_error _) -> ()
+
+(* ---- standby: apply --------------------------------------------------- *)
+
+let batch_bytes batch =
+  List.fold_left (fun acc (_, r) -> acc + String.length r) 0 batch
+
+let apply_batch t stream batch =
+  (match stream with
+  | S_qm ->
+    let qm = Site.qm t.site in
+    List.iter (fun (_, r) -> Qm.standby_apply qm r) batch;
+    Qm.standby_force qm
+  | S_kv ->
+    let kv = Site.kv t.site in
+    List.iter (fun (_, r) -> Kvdb.standby_apply kv r) batch;
+    Kvdb.standby_force kv
+  | S_tm -> (
+    match t.tmship with
+    | None -> ()
+    | Some w ->
+      List.iter
+        (fun (_, r) ->
+          Wal.append w r;
+          match Tm.shipped_decision r with
+          | Some id -> Hashtbl.replace t.decisions id ()
+          | None -> ())
+        batch;
+      Wal.sync w));
+  t.applied_bytes <- t.applied_bytes + batch_bytes batch
+
+let install t ~qm_snap ~kv_snap =
+  Qm.standby_install (Site.qm t.site) qm_snap;
+  Kvdb.standby_install (Site.kv t.site) kv_snap;
+  (match t.tmship with
+  | Some w -> Wal.checkpoint w ""
+  | None -> ());
+  Hashtbl.reset t.decisions;
+  t.applied_bytes <- 0
+
+(* ---- promotion -------------------------------------------------------- *)
+
+(* Resolve the standby's shipped prepares from the shipped decision stream:
+   the primary forces (and in sync mode ships) its commit decision before
+   delivering any participant commit, so a prepared transaction without a
+   shipped decision cannot have released effects anywhere — presumed
+   abort. Idempotent, so a crash mid-promotion can simply redo it. *)
+let resolve_in_doubt t =
+  (* Only entries coordinated by the peer: a rebooted primary's own
+     prepares resolve through its own TM's pending table (the normal
+     resolver path), which knows outcomes this table cannot. *)
+  let resolve p (id, coord) =
+    if coord = t.peer then
+      if Hashtbl.mem t.decisions id then ignore (p.Tm.p_commit id)
+      else p.Tm.p_abort id
+  in
+  let qm = Site.qm t.site in
+  List.iter (resolve (Qm.participant qm)) (Qm.in_doubt qm);
+  let kv = Site.kv t.site in
+  List.iter (resolve (Kvdb.participant kv)) (Kvdb.in_doubt kv)
+
+(* Assume the serving-primary duties for this incarnation. Shared by
+   promotion, by a reboot that finds a durable primary role, and by the
+   initial boot of the configured primary. *)
+let rec become_serving t =
+  resolve_in_doubt t;
+  (* Replies addressed to the late peer's reply queues are ours now. *)
+  Site.set_aliases t.site [ t.peer ];
+  Site.set_standby t.site false;
+  Net.spawn_on (Site.node t.site) ~name:"ha:link" (link_daemon t);
+  t.on_serving t
+
+(* Primary-side link daemon: re-establish a lost link (full resync) and, in
+   lagged mode, drain the retained records every [lag] seconds — the
+   speculative-reply window the failover tests probe. *)
+and link_daemon t () =
+  let interval = match t.mode with Sync -> 0.5 | Lagged d -> d in
+  let rec loop () =
+    if t.role = Primary then begin
+      if not t.link_up then attempt_resync t
+      else
+        match t.mode with
+        | Sync -> ()
+        | Lagged _ ->
+          List.iter (fun (_, gc) -> Group_commit.ship_now gc) (gcs t)
+    end;
+    Sched.sleep_background interval;
+    loop ()
+  in
+  loop ()
+
+let promote t =
+  Crashpoint.reach "ha.promote";
+  (* No yield between here and the durable role flip: a half-promoted
+     standby must either still be a standby (crash before the flip — the
+     next incarnation detects the dead primary again) or durably the new
+     primary (crash after — boot redoes the idempotent remainder). *)
+  write_role t Primary (t.epoch + 1);
+  t.n_failovers <- t.n_failovers + 1;
+  t.last_promote_at <- (if Sched.in_fiber () then Sched.clock () else 0.0);
+  if t.cold then
+    (* Cold-standby model for the benchmark: the shipped log was stored but
+       not replayed, so promotion pays a scan at recovery bandwidth. *)
+    Sched.sleep (float_of_int t.applied_bytes /. t.replay_bytes_per_sec);
+  Qm.bump_incarnation (Site.qm t.site);
+  become_serving t
+
+(* Standby-side monitor: probe the primary every [hb_every]; after
+   [miss_limit] consecutive misses, confirm once more and take over. *)
+let monitor_daemon t () =
+  let probe () =
+    match
+      Net.call (Site.node t.site) ~timeout:t.hb_every ~dst:t.peer
+        ~service:"ha" (Hb t.epoch)
+    with
+    | Hb_ok _ -> true
+    | _ -> false
+    | exception (Net.Rpc_timeout | Net.Service_error _) -> false
+  in
+  let rec loop misses ~since =
+    Sched.sleep_background t.hb_every;
+    if t.role = Standby then
+      if probe () then loop 0 ~since:0.0
+      else begin
+        let since = if misses = 0 then Sched.clock () else since in
+        let misses = misses + 1 in
+        if misses < t.miss_limit then loop misses ~since
+        else if probe () then loop 0 ~since:0.0 (* final confirmation *)
+        else if t.last_peer_seen >= since then
+          (* The peer contacted this node while the probes were timing
+             out — a probe launched during its outage can expire after it
+             is back. It is alive; promoting now would be a split brain. *)
+          loop 0 ~since:0.0
+        else begin
+          Crashpoint.reach "ha.heartbeat_miss";
+          promote t
+        end
+      end
+  in
+  loop 0 ~since:0.0
+
+(* ---- the "ha" service ------------------------------------------------- *)
+
+let ha_service t msg =
+  if Sched.in_fiber () then t.last_peer_seen <- Sched.clock ();
+  match msg with
+  | Hb _ ->
+    if t.role = Primary then Hb_ok t.epoch
+    else failwith "ha: standby does not answer heartbeats"
+  | Ha_query -> R_ha_role { role = t.role; epoch = t.epoch }
+  | Ship { epoch; stream; batch } ->
+    if epoch < t.epoch || t.role = Primary then Ship_stale t.epoch
+    else begin
+      apply_batch t stream batch;
+      (* The batch is durable here but the primary has not seen the ack. *)
+      Crashpoint.reach "ship.applied";
+      Ship_ok
+    end
+  | Ha_install { epoch; qm_snap; kv_snap } ->
+    if epoch < t.epoch || t.role = Primary then Ship_stale t.epoch
+    else begin
+      install t ~qm_snap ~kv_snap;
+      if epoch > t.epoch then write_role t Standby epoch;
+      Net.Ack
+    end
+  | _ -> raise (Invalid_argument "ha service: unexpected message")
+
+(* ---- boot / attach ---------------------------------------------------- *)
+
+(* A restarting node that last ran as primary may have been failed over
+   while it was down. Stay gated until the peer has been asked: demote if
+   it is a primary with a newer epoch, else resume serving. *)
+let rejoin_check t =
+  match ship_rpc t Ha_query with
+  | R_ha_role { role = Primary; epoch } when epoch > t.epoch ->
+    write_role t Standby epoch;
+    Site.set_aliases t.site [];
+    Site.set_standby t.site true;
+    Net.spawn_on (Site.node t.site) ~name:"ha:monitor" (monitor_daemon t)
+  | _ -> become_serving t
+  | exception (Net.Rpc_timeout | Net.Service_error _) ->
+    (* Peer unreachable: trust the durable role. *)
+    become_serving t
+
+let boot_hook t site =
+  ignore site;
+  let nd = Site.node t.site in
+  (match read_role (Net.disk nd) with
+  | Some (r, e) ->
+    t.role <- r;
+    t.epoch <- e
+  | None -> write_role t t.role t.epoch);
+  t.link_up <- false;
+  t.synced <- false;
+  Hashtbl.reset t.decisions;
+  t.applied_bytes <- 0;
+  let w, recovered = Wal.open_log (Net.disk nd) ~name:"tmship" in
+  t.tmship <- Some w;
+  List.iter
+    (fun r ->
+      t.applied_bytes <- t.applied_bytes + String.length r;
+      match Tm.shipped_decision r with
+      | Some id -> Hashtbl.replace t.decisions id ()
+      | None -> ())
+    recovered.Wal.records;
+  Net.add_service nd "ha" (ha_service t);
+  match t.role with
+  | Standby ->
+    Site.set_standby t.site true;
+    Site.set_aliases t.site [];
+    Net.spawn_on nd ~name:"ha:monitor" (monitor_daemon t)
+  | Primary ->
+    (* Gate until the rejoin check has run: a deposed ex-primary must not
+       serve a single request of its stale incarnation. *)
+    Site.set_standby t.site true;
+    Net.spawn_on nd ~name:"ha:rejoin" (fun () -> rejoin_check t)
+
+let attach ?(mode = Sync) ?(heartbeat_every = 0.25) ?(miss_limit = 3)
+    ?(ship_timeout = 2.0) ?(cold = false)
+    ?(replay_bytes_per_sec = 256.0 *. 1024.0 *. 1024.0)
+    ?(on_serving = fun _ -> ()) site ~peer ~role =
+  let t =
+    {
+      site;
+      peer;
+      mode;
+      hb_every = heartbeat_every;
+      miss_limit;
+      ship_timeout;
+      cold;
+      replay_bytes_per_sec;
+      on_serving;
+      role;
+      epoch = 1;
+      link_up = false;
+      synced = false;
+      tmship = None;
+      decisions = Hashtbl.create 16;
+      applied_bytes = 0;
+      n_ship_batches = 0;
+      n_failovers = 0;
+      n_degrades = 0;
+      n_resyncs = 0;
+      last_promote_at = 0.0;
+      last_peer_seen = neg_infinity;
+    }
+  in
+  Site.on_boot site (boot_hook t);
+  t

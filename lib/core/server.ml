@@ -170,5 +170,19 @@ let start site ~req_queue ?(threads = 1) ?filter ?name handler =
       done);
   t
 
+(* Like [start], but for this incarnation only: no boot hook, so a crash
+   kills the threads and nothing revives them. The HA layer uses this to run
+   servers only while the hosting site is the serving primary — its own
+   role logic decides when (and on which node) to start them again. *)
+let start_here site ~req_queue ?(threads = 1) ?filter ?name handler =
+  let t = { n_processed = 0; n_aborted = 0 } in
+  let base = match name with Some n -> n | None -> "srv:" ^ req_queue in
+  for i = 1 to threads do
+    let registrant = Printf.sprintf "%s:%d" base i in
+    Net.spawn_on (Site.node site) ~name:registrant
+      (serve t site ~req_queue ?filter ~registrant handler)
+  done;
+  t
+
 let processed t = t.n_processed
 let aborted t = t.n_aborted

@@ -41,6 +41,13 @@ val start_set :
 (** Like {!start} but serving a queue set (paper §9): each iteration takes
     the globally best ready element across all the queues. *)
 
+val start_here :
+  Site.t -> req_queue:string -> ?threads:int -> ?filter:Rrq_qm.Filter.t ->
+  ?name:string -> handler -> t
+(** Like {!start} but for the current incarnation only: no boot hook is
+    registered, so the threads die with the node and stay dead. Used by
+    {!Ha}, whose role protocol decides when a node should serve. *)
+
 val process_one :
   Site.t -> req_queue:string -> registrant:string -> ?filter:Rrq_qm.Filter.t ->
   wait:Rrq_qm.Qm.wait -> handler -> [ `Done | `Empty | `Aborted ]

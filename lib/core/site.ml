@@ -87,10 +87,28 @@ type t = {
   checkpoint_every : int;
   stale_timeout : float;
   mutable extra_boot : (t -> unit) list; (* oldest first *)
+  (* HA role state (see Ha). A standby site refuses client-facing service
+     requests — clerks fail over to the primary — while its repositories
+     are fed by shipped WAL records. Aliases are peer node names this site
+     answers for after a failover: replies addressed to the dead primary
+     must land on the promoted backup's own queues, not cross the wire. *)
+  mutable standby : bool;
+  mutable aliases : string list;
 }
 
 let node t = t.site_node
 let site_name t = Net.node_name t.site_node
+let set_standby t b = t.standby <- b
+let is_standby t = t.standby
+let set_aliases t names = t.aliases <- names
+let aliases t = t.aliases
+let is_local_name t dst = dst = site_name t || List.mem dst t.aliases
+
+(* Raised (hence surfaced to callers as [Net.Service_error]) when a client
+   operation reaches a standby; the clerk treats it like a dead node and
+   rotates to the next candidate primary. *)
+let standby_guard t =
+  if t.standby then failwith ("ha: " ^ site_name t ^ " is a standby")
 let tm t = t.s_tm
 let qm t = t.s_qm
 let kv t = t.s_kv
@@ -135,6 +153,7 @@ let local_participant t rm_name =
 (* ---- services -------------------------------------------------------- *)
 
 let clerk_service t msg =
+  standby_guard t;
   let qm = t.s_qm in
   match msg with
   | Q_register { queue; registrant; stable } ->
@@ -196,6 +215,7 @@ let clerk_service t msg =
   | _ -> raise (Invalid_argument "qm service: unexpected message")
 
 let qm_tx_service t msg =
+  standby_guard t;
   match msg with
   | Q_enqueue_tx { id; queue; props; priority; body } ->
     let qm = t.s_qm in
@@ -252,7 +272,15 @@ let resolver_daemon t () =
   let rec loop () =
     let qm_doubt = Qm.in_doubt t.s_qm in
     let kv_doubt = Kvdb.in_doubt t.s_kv in
-    if qm_doubt <> [] || kv_doubt <> [] then begin
+    if t.standby then begin
+      (* A standby's in-doubt entries come from shipped prepares whose
+         outcomes arrive via the shipped TM decision stream; presumed-abort
+         resolution here would diverge from the primary. Promotion resolves
+         them instead. *)
+      Sched.sleep_background 1.0;
+      loop ()
+    end
+    else if qm_doubt <> [] || kv_doubt <> [] then begin
       List.iter
         (fun entry ->
           resolve_one entry
@@ -340,6 +368,8 @@ let create ?commit_policy ?(queues = []) ?(triggers = [])
       checkpoint_every;
       stale_timeout;
       extra_boot = [];
+      standby = false;
+      aliases = [];
     }
   in
   (* The placeholder components above exist only to fill the record; boot
@@ -378,7 +408,7 @@ let with_txn t f =
     | e -> raise e)
 
 let remote_dequeue t txn ~dst ~queue ~filter =
-  if dst = site_name t then begin
+  if is_local_name t dst then begin
     let h, _ =
       Qm.register t.s_qm ~queue ~registrant:("pipeline@" ^ queue) ~stable:false
     in
@@ -399,7 +429,7 @@ let remote_dequeue t txn ~dst ~queue ~filter =
   end
 
 let remote_enqueue t txn ~dst ~queue ?(props = []) ?(priority = 0) body =
-  if dst = site_name t then begin
+  if is_local_name t dst then begin
     let h, _ =
       Qm.register t.s_qm ~queue ~registrant:("pipeline@" ^ queue) ~stable:false
     in

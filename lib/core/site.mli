@@ -62,6 +62,26 @@ val on_boot : t -> (t -> unit) -> unit
     and run it immediately. Re-runs on every {!restart}, after the core
     components are recovered. *)
 
+(** {1 High-availability role (see {!Ha})} *)
+
+val set_standby : t -> bool -> unit
+(** A standby site rejects clerk-facing ["qm"] and ["qm-tx"] requests (the
+    clerk fails over to another candidate) and suspends presumed-abort
+    in-doubt resolution: shipped prepares are resolved by the promotion
+    protocol from the shipped TM decision stream, never guessed locally. *)
+
+val is_standby : t -> bool
+
+val set_aliases : t -> string list -> unit
+(** Peer node names this site answers for. After failover, server replies
+    addressed to the dead primary's reply queues must be treated as local
+    enqueues on the promoted backup rather than sent over the wire. *)
+
+val aliases : t -> string list
+
+val is_local_name : t -> string -> bool
+(** [dst] is this site's own name or one of its {!aliases}. *)
+
 (** {1 Transactions} *)
 
 exception Aborted of string

@@ -1,0 +1,17 @@
+(** Experiment B15: failover latency of the HA pair ({!Rrq_core.Ha}) —
+    the virtual-clock time from the primary's kill to the first reply a
+    mid-conversation clerk extracts from the promoted backup, swept over
+    the shipping mode (sync plus several lagged batch intervals) crossed
+    with warm vs cold standby. *)
+
+type row = {
+  mode : string;  (** Shipping mode: "sync" or "lagged <d>s". *)
+  standby : string;  (** "warm" (replays on arrival) or "cold" (stores). *)
+  warmup : int;  (** Conversation turns completed before the kill. *)
+  ship_batches : int;  (** Batches the primary shipped before the kill. *)
+  applied_bytes : int;  (** Shipped bytes held by the standby at the kill. *)
+  failover_s : float;  (** Kill to first post-failover reply, seconds. *)
+}
+
+val run : ?warmup:int -> ?seed:int -> unit -> row list
+val table : row list -> Rrq_util.Table.t

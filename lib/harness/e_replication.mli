@@ -1,5 +1,8 @@
 (** Experiment B9 (paper §11): what one-copy queue replication costs per
-    operation and what it buys (survival of a site loss). *)
+    operation and what it buys (survival of a site loss). The replicated
+    configuration is the {!Rrq_core.Ha} primary-backup pair in [Sync]
+    shipping mode, so the measured cost is the WAL-shipping round trip on
+    every commit force. *)
 
 type row = {
   config : string;
@@ -10,5 +13,5 @@ type row = {
   survives_site_loss : bool;
 }
 
-val run : ?ops:int -> unit -> row list
+val run : ?ops:int -> ?seed:int -> unit -> row list
 val table : row list -> Rrq_util.Table.t

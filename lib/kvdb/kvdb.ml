@@ -160,3 +160,10 @@ let committed_bindings t =
 let checkpoint = Base.checkpoint
 let maybe_checkpoint = Base.maybe_checkpoint
 let live_log_bytes = Base.live_log_bytes
+
+(* Replication hooks (primary-backup WAL shipping; see Rrq_core.Ha). *)
+let group_commit = Base.group_commit
+let encode_snapshot = Base.encode_snapshot
+let standby_apply = Base.standby_apply
+let standby_force = Base.standby_force
+let standby_install = Base.standby_install

@@ -65,3 +65,14 @@ val committed_bindings : t -> (string * string) list
 val checkpoint : t -> unit
 val maybe_checkpoint : t -> every:int -> unit
 val live_log_bytes : t -> int
+
+(** {1 Replication hooks}
+
+    Primary-backup WAL shipping (see {!Rrq_core.Ha}); re-exports of the
+    {!Rrq_txn.Rm.Make} standby surface. *)
+
+val group_commit : t -> Rrq_wal.Group_commit.t
+val encode_snapshot : t -> string
+val standby_apply : t -> string -> unit
+val standby_force : t -> unit
+val standby_install : t -> string -> unit

@@ -1370,6 +1370,48 @@ let checkpoint t = Wal.checkpoint t.wal (encode_snapshot t)
 let maybe_checkpoint t ~every =
   if Wal.records_since_checkpoint t.wal >= every then checkpoint t
 
+(* ---- replication hooks (primary-backup WAL shipping) ------------------ *)
+
+let group_commit t = t.gc
+let snapshot_image t = encode_snapshot t
+
+(* The backup half of shipping (see Rrq_core.Ha and Rrq_txn.Rm): append the
+   shipped record verbatim into our OWN log, then replay it into memory —
+   the standby stays warm, and a backup crash recovers through the native
+   path. [replaying] suppresses alert callbacks and trigger side effects
+   exactly as recovery replay does. No locks are re-asserted: a standby
+   runs no competing transactions, and promotion resolves every in-doubt
+   entry before serving. *)
+let standby_apply t payload =
+  t.replaying <- true;
+  Fun.protect
+    ~finally:(fun () -> t.replaying <- false)
+    (fun () ->
+      Group_commit.append t.gc payload;
+      replay_record t payload)
+
+let standby_force t = Group_commit.force t.gc
+
+let standby_install t snap =
+  Hashtbl.reset t.queues;
+  Eidtbl.reset t.index;
+  Hashtbl.reset t.regs;
+  Hashtbl.reset t.workspaces;
+  Hashtbl.reset t.prepared;
+  t.ws_cache <- None;
+  t.replaying <- true;
+  Fun.protect
+    ~finally:(fun () -> t.replaying <- false)
+    (fun () -> restore_snapshot t snap);
+  (* Restart our own log from the installed image. *)
+  Wal.checkpoint t.wal (encode_snapshot t)
+
+(* Durably open a fresh incarnation without reopening the repository — the
+   promotion path: a new primary must never mint eids or auto-txids that
+   collide with ones the old primary handed out. *)
+let bump_incarnation t =
+  log_now t [ { op_redo = RIncarnation; op_errq = None } ]
+
 let live_log_bytes t = Wal.live_log_bytes t.wal
 
 let counts t qn =

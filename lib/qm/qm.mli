@@ -275,3 +275,25 @@ val counts : t -> string -> int * int
 val elements : t -> string -> Element.t list
 (** Snapshot of a queue's current elements in dequeue order (tests and
     audits). *)
+
+(** {1 Replication hooks}
+
+    The queue manager as a primary-backup replication endpoint (see
+    {!Rrq_core.Ha}). The primary ships its WAL records through
+    {!Rrq_wal.Group_commit.set_shipper} on {!group_commit}; the backup
+    applies them with {!standby_apply} (which also appends them to its own
+    log, so a backup crash recovers natively) and makes each batch durable
+    with {!standby_force} before acknowledging. {!standby_install}
+    replaces the whole state from a primary {!snapshot_image} — the full
+    resync after a gap or role change. *)
+
+val group_commit : t -> Rrq_wal.Group_commit.t
+val snapshot_image : t -> string
+val standby_apply : t -> string -> unit
+val standby_force : t -> unit
+val standby_install : t -> string -> unit
+
+val bump_incarnation : t -> unit
+(** Durably open a fresh incarnation without reopening the repository —
+    called at promotion so a new primary never mints eids or auto-txids
+    that collide with the old primary's. *)

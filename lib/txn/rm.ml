@@ -23,7 +23,7 @@ module Make (S : STATE) = struct
     rm_name : string;
     wal : Wal.t;
     gc : Group_commit.t;
-    st : S.state;
+    mutable st : S.state; (* replaced wholesale by a standby install *)
     workspaces : (Txid.t, S.redo list ref) Hashtbl.t; (* newest first *)
     prepared_txns : (Txid.t, prepared) Hashtbl.t;
   }
@@ -184,6 +184,38 @@ module Make (S : STATE) = struct
     Group_commit.append t.gc (encode_record k_apply_now None "" redos);
     List.iter (S.apply t.st) redos;
     Group_commit.force t.gc
+
+  let group_commit t = t.gc
+
+  (* ---- warm-standby replication target --------------------------------
+     The backup side of WAL shipping: shipped records are appended verbatim
+     into this RM's OWN log (so a backup crash recovers through the native
+     path) and replayed into memory immediately — the standby is warm by
+     construction. Locks are not re-asserted here: a standby runs no
+     competing transactions, and promotion resolves every in-doubt entry
+     before serving. *)
+
+  let standby_apply t payload =
+    Group_commit.append t.gc payload;
+    replay t payload
+
+  let standby_force t = Group_commit.force t.gc
+
+  let standby_install t snapshot =
+    let d = Codec.decoder snapshot in
+    let st = S.restore d in
+    let n = Codec.get_int d in
+    Hashtbl.reset t.prepared_txns;
+    Hashtbl.reset t.workspaces;
+    for _ = 1 to n do
+      let id = Txid.decode d in
+      let coordinator = Codec.get_string d in
+      let redos = Codec.get_list S.decode_redo d in
+      Hashtbl.replace t.prepared_txns id { coordinator; redos }
+    done;
+    t.st <- st;
+    (* Restart our own log from the installed image. *)
+    Wal.checkpoint t.wal (encode_snapshot t)
 
   let checkpoint t = Wal.checkpoint t.wal (encode_snapshot t)
 

@@ -90,6 +90,35 @@ module Make (S : STATE) : sig
   (** Durably log and apply updates outside any transaction (auto-commit),
       e.g. the retry-counter bump on an aborted dequeue. *)
 
+  val group_commit : t -> Rrq_wal.Group_commit.t
+  (** The commit-point batcher, exposed so a replication layer can install
+      a WAL shipper on it ({!Rrq_wal.Group_commit.set_shipper}). *)
+
+  (** {1 Warm-standby replication target}
+
+      The backup half of primary-backup WAL shipping: shipped records are
+      appended verbatim into this RM's own log (a backup crash recovers
+      through the native path) and replayed into memory immediately, so
+      the standby is warm by construction. A standby runs no competing
+      transactions; in-doubt entries accumulated from shipped prepares are
+      resolved by the promotion protocol, not here. *)
+
+  val standby_apply : t -> string -> unit
+  (** Append one shipped record to our own log and replay it into memory.
+      Not forced — call {!standby_force} at batch end, before
+      acknowledging the batch to the primary. *)
+
+  val standby_force : t -> unit
+
+  val standby_install : t -> string -> unit
+  (** Replace the whole state from a primary {!encode_snapshot} image
+      (full resync after a gap or a role change) and restart our log from
+      it. *)
+
+  val encode_snapshot : t -> string
+  (** The state + in-doubt table as one string — what {!standby_install}
+      consumes on the peer. *)
+
   val checkpoint : t -> unit
   (** Snapshot state + in-doubt table; truncate the log. *)
 

@@ -333,3 +333,15 @@ let recover_pending t =
 
 let pending_decisions t = Hashtbl.fold (fun id _ acc -> id :: acc) t.pending []
 let stats t = (t.n_committed, t.n_aborted)
+
+let group_commit t = t.gc
+
+(* Under presumed abort only COMMIT decisions are logged, so a shipped TM
+   record either names a committed transaction or is bookkeeping
+   (incarnation/end) the backup can ignore. *)
+let shipped_decision payload =
+  let d = Codec.decoder payload in
+  match Codec.get_u8 d with
+  | k when k = k_decision -> Some (Txid.decode d)
+  | _ -> None
+  | exception Codec.Decode_error _ -> None

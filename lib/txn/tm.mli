@@ -100,3 +100,15 @@ val pending_decisions : t -> Txid.t list
 
 val stats : t -> int * int
 (** (committed, aborted) counts for this incarnation. *)
+
+(** {1 Replication hooks (primary-backup WAL shipping)} *)
+
+val group_commit : t -> Rrq_wal.Group_commit.t
+(** The commit-point batcher, so a replication layer can ship the TM's
+    decision log ({!Rrq_wal.Group_commit.set_shipper}). *)
+
+val shipped_decision : string -> Txid.t option
+(** Decode one shipped TM log record: [Some id] if it is a commit-decision
+    record (under presumed abort only commit decisions are logged), [None]
+    for bookkeeping records (incarnation, end) or undecodable input. The
+    backup uses these to resolve in-doubt RM entries at promotion. *)

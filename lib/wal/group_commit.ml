@@ -34,6 +34,18 @@ type t = {
   mutable s_idle : int;
   mutable s_rate : int;
   mutable s_immediate : int;
+  (* Log shipping (primary-backup replication). While a shipper is
+     installed every appended record is retained as (lsn, payload) until a
+     ship round sends it; [shipped_lsn] is the replication analogue of the
+     durable LSN. In sync mode [force] will not return to a committer until
+     the ship watermark covers its records. *)
+  mutable shipper : ((int * string) list -> unit) option;
+  mutable ship_sync : bool;
+  mutable retained : (int * string) list; (* newest first *)
+  mutable shipped_lsn : int;
+  mutable ship_leading : bool;
+  mutable ship_waiters : (int * bool Sched.waker) list;
+  mutable n_ships : int;
 }
 
 let create ?(policy = Immediate) wal =
@@ -54,9 +66,17 @@ let create ?(policy = Immediate) wal =
     s_idle = 0;
     s_rate = 0;
     s_immediate = 0;
+    shipper = None;
+    ship_sync = true;
+    retained = [];
+    shipped_lsn = 0;
+    ship_leading = false;
+    ship_waiters = [];
+    n_ships = 0;
   }
 
 let policy t = t.pol
+let wal t = t.wal
 let forces t = t.n_forces
 let syncs t = t.n_syncs
 
@@ -69,8 +89,22 @@ let seal_counts t =
     ("immediate", t.s_immediate);
   ]
 
-let append t payload = Wal.append t.wal payload
-let append_enc t e = Wal.append_enc t.wal e
+let retain t payload =
+  t.retained <- (Wal.appended_lsn t.wal, payload) :: t.retained
+
+let append t payload =
+  Wal.append t.wal payload;
+  if t.shipper <> None then retain t payload
+
+let append_enc t e =
+  (* The zero-copy path must materialize the record when a shipper needs a
+     copy to send; without one it stays zero-copy. *)
+  if t.shipper <> None then begin
+    let payload = Codec.to_string e in
+    Wal.append_enc t.wal e;
+    retain t payload
+  end
+  else Wal.append_enc t.wal e
 
 (* One physical flush, charged against the disk's device model when we can
    sleep (i.e. inside a fiber): the device serves one flush at a time, so
@@ -97,6 +131,79 @@ let wake_covered t =
   t.waiters <- parked;
   List.iter (fun (_, w) -> ignore (Sched.wake w true)) (List.rev ready);
   List.length ready
+
+(* ---- log shipping ---------------------------------------------------- *)
+
+let set_shipper ?(sync = true) t f =
+  t.shipper <- Some f;
+  t.ship_sync <- sync;
+  (* The installer is responsible for bringing the peer up to date first
+     (snapshot install); shipping starts from the current durable tail. *)
+  t.retained <- [];
+  t.shipped_lsn <- Wal.durable_lsn t.wal
+
+(* Wake every parked ship waiter, covered or not: a waiter whose lsn the
+   finished round did not cover must get a chance to elect itself the next
+   leader (its record arrived after the leader snapshotted the durable
+   horizon, so no running leader will ever cover it). Woken fibers re-enter
+   [ensure_shipped], which returns when covered and leads otherwise. *)
+let wake_shipped t =
+  let ws = t.ship_waiters in
+  t.ship_waiters <- [];
+  List.iter (fun (_, w) -> ignore (Sched.wake w true)) (List.rev ws)
+
+let clear_shipper t =
+  t.shipper <- None;
+  t.retained <- [];
+  wake_shipped t
+
+let shipping t = t.shipper <> None
+let shipped_lsn t = t.shipped_lsn
+let pending_ship t = List.length t.retained
+let ships t = t.n_ships
+
+(* Ship every retained record the log has made durable, leader/follower
+   style: one fiber drains and sends the batch while others needing
+   coverage park; the leader's watermark advance covers them. The shipper
+   callback may block (it does an RPC); it must not raise — connection
+   management (degrade, resync) is its owner's job. *)
+let rec ensure_shipped t lsn =
+  (* Only durable records ship (the backup must never be ahead of the
+     primary's log); if the disk died the sync never covered [lsn] and the
+     node is about to be declared crashed — bail rather than spin. *)
+  let lsn = min lsn (Wal.durable_lsn t.wal) in
+  if t.shipper <> None && lsn > t.shipped_lsn then begin
+    if t.ship_leading then begin
+      ignore
+        (Sched.suspend (fun _ w -> t.ship_waiters <- (lsn, w) :: t.ship_waiters));
+      ensure_shipped t lsn
+    end
+    else begin
+      t.ship_leading <- true;
+      let durable = Wal.durable_lsn t.wal in
+      let batch, rest = List.partition (fun (l, _) -> l <= durable) t.retained in
+      t.retained <- rest;
+      let batch = List.sort compare batch in
+      Fun.protect
+        ~finally:(fun () ->
+          t.ship_leading <- false;
+          wake_shipped t)
+        (fun () ->
+          (match t.shipper with
+          | Some ship when batch <> [] ->
+            ship batch;
+            t.n_ships <- t.n_ships + 1
+          | _ -> ());
+          (* The shipper may have been cleared (degrade) mid-send; only a
+             still-connected stream advances the watermark. *)
+          if t.shipper <> None then t.shipped_lsn <- max t.shipped_lsn durable);
+      ensure_shipped t lsn
+    end
+  end
+
+(* One asynchronous ship round covering everything durable so far — the
+   lagged-shipping mode's periodic drain. *)
+let ship_now t = ensure_shipped t (Wal.durable_lsn t.wal)
 
 let reason_name = function
   | `Full -> "full"
@@ -229,7 +336,14 @@ let force t =
         let covered = wake_covered t in
         observe_batch t reason (covered + 1)
       end
-  end
+  end;
+  (* Synchronous shipping gates the commit exactly like durability does:
+     a committer's records must be on the backup before [force] returns.
+     This also covers the follower/skip cases above — a fiber whose
+     records were already durable (so the body never ran) still must not
+     proceed past an unshipped suffix. *)
+  if t.ship_sync && t.shipper <> None && Sched.in_fiber () then
+    ensure_shipped t lsn
 
 let append_force t payload =
   append t payload;

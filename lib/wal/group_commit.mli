@@ -63,6 +63,7 @@ val create : ?policy:policy -> Wal.t -> t
 (** Batcher for [wal]. Default policy is [Immediate]. *)
 
 val policy : t -> policy
+val wal : t -> Wal.t
 
 val append : t -> string -> unit
 (** Buffer a record at the log tail (same as [Wal.append]). *)
@@ -81,7 +82,49 @@ val force : t -> unit
 val append_force : t -> string -> unit
 (** [append] then [force]. *)
 
+(** {1 Log shipping (primary-backup replication)}
+
+    A {e shipper} turns this batcher into the sending half of a
+    primary-backup log-shipping channel: while one is installed, every
+    appended record is retained as an [(lsn, payload)] pair and a ship
+    round sends the durable prefix of the retained set to the callback in
+    LSN order, advancing the {e shipped LSN} watermark (the replication
+    analogue of the durable LSN). Ship rounds use the same leader/follower
+    protocol as batched syncs, so concurrent committers amortise one send.
+
+    In [sync] mode (the default) {!force} does not return until the
+    caller's records are shipped — the replication counterpart of the
+    durability-before-reply rule: a transaction is only acknowledged once
+    the backup could take over without losing it. With [sync:false] the
+    owner must drain with {!ship_now} periodically; replies may then be
+    released ahead of the backup (speculative replies), which is exactly
+    the window the HA failover tests probe. *)
+
+val set_shipper : ?sync:bool -> t -> ((int * string) list -> unit) -> unit
+(** Install the shipping callback. The callback receives a batch of
+    [(lsn, record)] pairs in LSN order and must deliver them (it may
+    block; it must not raise — degrade handling belongs to the owner).
+    Installation resets the retained set and sets the shipped watermark
+    to the current durable LSN: the installer is responsible for bringing
+    the peer up to date first (snapshot install). *)
+
+val clear_shipper : t -> unit
+(** Stop shipping (peer lost / degraded); wakes any fiber parked on a
+    ship round. *)
+
+val shipping : t -> bool
+val shipped_lsn : t -> int
+val pending_ship : t -> int
+(** Retained records not yet shipped. *)
+
+val ship_now : t -> unit
+(** Ship every durable retained record now (the lagged mode's periodic
+    drain; a no-op when nothing is pending or no shipper is installed). *)
+
 (** {1 Accounting} *)
+
+val ships : t -> int
+(** Number of non-empty batches handed to the shipper. *)
 
 val forces : t -> int
 (** Number of {!force} calls that had undurable records to cover. *)

@@ -8,7 +8,11 @@
      auditor, and the intentionally buggy clerk (untagged blind re-Send) is
      caught and shrunk to a minimal still-failing plan;
    - the crash-site enumerator: every (site, hit) combination of the
-     quickstart world recovers cleanly. *)
+     quickstart world recovers cleanly;
+   - the HA pair: >= 200 random fault plans (primary kills, client
+     partitions) pass every auditor through failover, the lag-buggy
+     shipper is caught and shrunk, and killing the primary at every
+     replication crash site (ship and ha prefixes) fails over cleanly. *)
 
 module Sched = Rrq_sim.Sched
 module C = Rrq_check
@@ -293,6 +297,92 @@ let test_mm_explore () =
   Alcotest.(check int) "every schedule passed" 100 report.C.Explore.passed;
   Alcotest.(check bool) "no failure" true (report.C.Explore.failure = None)
 
+(* ---- the HA pair under the explorer and the crash-site enumerator -------- *)
+
+(* The explorer over the HA scenario: random plans drawn from a fault space
+   that kills the primary and partitions it from the client. Synchronous
+   shipping gates every reply on the backup's ack, so every schedule must
+   pass all five auditors through whatever failover the plan provokes. *)
+let test_ha_explore () =
+  (match C.Scenario.by_name "ha" with
+  | Some s -> Alcotest.(check string) "registered" "ha" s.C.Scenario.name
+  | None -> Alcotest.fail "ha not in the scenario registry");
+  let report = C.Explore.run ~budget:200 ~seed:1 C.Scenario.ha in
+  Alcotest.(check int) "explored the whole budget" 200 report.C.Explore.explored;
+  Alcotest.(check int) "every schedule passed" 200 report.C.Explore.passed;
+  Alcotest.(check bool) "no failure" true (report.C.Explore.failure = None)
+
+(* The lag-buggy shipper ([Lagged 1.0]: replies released up to a second
+   ahead of the backup). Fault-free it passes; the explorer must catch a
+   primary kill inside the lag window — the promoted backup either never
+   saw an acknowledged conversation or re-runs one whose reply already
+   escaped — and ddmin must shrink the plan to one that still fails. *)
+let test_ha_lagged_caught_and_shrunk () =
+  (match C.Scenario.by_name "ha-lagged" with
+  | Some s -> Alcotest.(check string) "registered" "ha-lagged" s.C.Scenario.name
+  | None -> Alcotest.fail "ha-lagged not in the scenario registry");
+  let clean = C.Plan.make ~seed:0 ~policy:`Fifo ~faults:[] in
+  Alcotest.(check bool) "fault-free lagged run passes" false
+    (C.Scenario.failed (C.Scenario.run C.Scenario.ha_lagged clean));
+  let report = C.Explore.run ~budget:100 ~seed:1 C.Scenario.ha_lagged in
+  let f =
+    match report.C.Explore.failure with
+    | Some f -> f
+    | None -> Alcotest.fail "explorer failed to catch the lagged shipper"
+  in
+  Alcotest.(check bool) "the failing outcome has findings" true
+    (f.C.Explore.outcome.C.Scenario.findings <> []);
+  let minimal = C.Explore.minimal_plan f in
+  Alcotest.(check bool) "shrunk plan is no larger" true
+    (List.length minimal.C.Plan.faults
+    <= List.length f.C.Explore.plan.C.Plan.faults);
+  let o = C.Scenario.run C.Scenario.ha_lagged minimal in
+  Alcotest.(check bool) "minimal plan still fails" true (C.Scenario.failed o);
+  let line = C.Explore.repro_line "ha-lagged" minimal in
+  Alcotest.(check bool) "repro line carries the plan" true
+    (String.length line > String.length (C.Plan.to_string minimal))
+
+(* Crash-site sweep over the replication machinery: kill the primary at
+   every reach of every ship- and ha-prefixed site the probe discovers (the probe
+   plan itself kills the primary at t=2, so the heartbeat-miss/promote
+   path is on the map). Whatever the timing — batch shipped but unacked,
+   ack in flight, mid-promotion — the audited outcome must be clean. *)
+let ha_swept_prefixes = [ "ship."; "ha." ]
+
+let test_ha_crash_site_sweep () =
+  let visited = C.Scenario.ha_crash_sites () in
+  List.iter
+    (fun site ->
+      Alcotest.(check bool)
+        (Printf.sprintf "probe reaches %s" site)
+        true (List.mem_assoc site visited))
+    [ "ship.sent"; "ship.applied"; "ha.heartbeat_miss"; "ha.promote" ];
+  let failures = ref [] in
+  let combos = ref 0 in
+  List.iter
+    (fun (site, hits) ->
+      if List.exists (fun p -> starts_with p site) ha_swept_prefixes then
+        for hit = 1 to hits do
+          incr combos;
+          let o =
+            C.Scenario.ha_crash_at ~site ~hit ~victim:"primary"
+              ~recover_after:4.0
+          in
+          if C.Scenario.failed o then
+            failures :=
+              Printf.sprintf "%s hit %d: %s" site hit
+                (C.Audit.findings_to_string o.C.Scenario.findings)
+              :: !failures
+        done)
+    visited;
+  Alcotest.(check bool)
+    (Printf.sprintf "swept a substantial replication site space (%d combos)"
+       !combos)
+    true (!combos >= 50);
+  Alcotest.(check (list string))
+    "every replication crash point failed over cleanly" []
+    (List.rev !failures)
+
 (* ---- recorded runs: the observability layer under the checker ----------- *)
 
 (* A recorded fault-free run must produce a non-empty trace that the
@@ -412,6 +502,15 @@ let () =
           Alcotest.test_case "mm crash sweep: wal.sync/synced, tm.prepared/decided"
             `Slow test_mm_crash_sweep;
           Alcotest.test_case "mm explorer plan suite" `Slow test_mm_explore;
+        ] );
+      ( "ha",
+        [
+          Alcotest.test_case "HA explorer: 200 random fault plans" `Slow
+            test_ha_explore;
+          Alcotest.test_case "lag-buggy shipper caught and shrunk" `Slow
+            test_ha_lagged_caught_and_shrunk;
+          Alcotest.test_case "replication crash-site sweep: ship.*, ha.*"
+            `Slow test_ha_crash_site_sweep;
         ] );
       ( "recorded",
         [

@@ -1,0 +1,333 @@
+(* Tests for the HA primary-backup role (paper §11 promoted to WAL
+   shipping, lib/core/ha.ml), distributed-commit atomicity under a
+   crash-time sweep, and content-based scheduling.
+
+   The first suite ports the old two-copy Replica tests onto the HA role:
+   mirroring is now asynchronous state (shipped WAL batches applied by the
+   warm standby) rather than a 2PC write to both copies, so "both copies
+   filled" becomes "the standby's replayed state matches after a sync
+   ship", and "peer down aborts" becomes "peer down degrades" — the HA
+   role trades the old consistency-first abort for availability plus
+   resync. The failover suite drives the full scenario world through
+   crashpoint-armed kills around every replication step. *)
+
+module Sched = Rrq_sim.Sched
+module Net = Rrq_net.Net
+module Rng = Rrq_util.Rng
+module Tm = Rrq_txn.Tm
+module Qm = Rrq_qm.Qm
+module Element = Rrq_qm.Element
+module Filter = Rrq_qm.Filter
+module Site = Rrq_core.Site
+module Ha = Rrq_core.Ha
+module Scenario = Rrq_check.Scenario
+module Audit = Rrq_check.Audit
+module Plan = Rrq_check.Plan
+module H = Rrq_test_support.Sim_harness
+
+(* --- the HA pair: shipping, degrade, resync ------------------------------ *)
+
+let make_ha_pair ?(mode = Ha.Sync) ?(ship_timeout = 0.3) s =
+  let net = Net.create ~latency:0.005 s (Rng.create 77) in
+  let a =
+    Site.create ~queues:[ ("rq", Qm.default_attrs) ] ~stale_timeout:2.0
+      (Net.make_node net "siteA")
+  in
+  let b =
+    Site.create ~queues:[ ("rq", Qm.default_attrs) ] ~stale_timeout:2.0
+      (Net.make_node net "siteB")
+  in
+  let ha_a = Ha.attach ~mode ~ship_timeout a ~peer:"siteB" ~role:Ha.Primary in
+  let ha_b = Ha.attach ~mode ~ship_timeout b ~peer:"siteA" ~role:Ha.Standby in
+  (* Serving needs the boot-time rejoin probe; shipping needs the link
+     daemon's first resync round. Both are a handful of RPCs away. *)
+  let deadline = Sched.clock () +. 5.0 in
+  while
+    (not (Ha.is_serving ha_a && Ha.shipping ha_a)) && Sched.clock () < deadline
+  do
+    Sched.sleep 0.05
+  done;
+  Alcotest.(check bool) "primary serving and shipping" true
+    (Ha.is_serving ha_a && Ha.shipping ha_a);
+  (a, b, ha_a, ha_b)
+
+let eids site queue =
+  List.map (fun el -> el.Element.eid) (Qm.elements (Site.qm site) queue)
+
+let test_sync_ship_mirrors_state () =
+  H.run_fiber' (fun s ->
+      let a, b, _, _ = make_ha_pair s in
+      let qm = Site.qm a in
+      let h, _ = Qm.register qm ~queue:"rq" ~registrant:"t" ~stable:false in
+      let e1 = Qm.auto_commit qm (fun id -> Qm.enqueue qm id h "one") in
+      let e2 = Qm.auto_commit qm (fun id -> Qm.enqueue qm id h "two") in
+      Alcotest.(check bool) "distinct eids" true (e1 <> e2);
+      (* Sync mode: the commit force gated on the backup's ack, so by the
+         time auto_commit returned the standby had already replayed it. *)
+      Alcotest.(check (list int64)) "standby mirrors the queue" (eids a "rq")
+        (eids b "rq");
+      (match Qm.auto_commit qm (fun id -> Qm.dequeue qm id h Qm.No_wait) with
+      | Some el -> Alcotest.(check string) "fifo" "one" el.Element.payload
+      | None -> Alcotest.fail "dequeue failed");
+      Alcotest.(check (list int64)) "standby mirrors the dequeue too"
+        (eids a "rq") (eids b "rq");
+      Alcotest.(check int) "one element left" 1 (Qm.depth (Site.qm b) "rq"))
+
+let test_abort_ships_no_state () =
+  H.run_fiber' (fun s ->
+      let a, b, _, _ = make_ha_pair s in
+      (try
+         Site.with_txn a (fun txn ->
+             let qm = Site.qm a in
+             let h, _ =
+               Qm.register qm ~queue:"rq" ~registrant:"t" ~stable:false
+             in
+             ignore (Qm.enqueue qm (Tm.txn_id txn) h "doomed");
+             failwith "change of heart")
+       with Failure _ -> ());
+      Sched.sleep 0.5;
+      Alcotest.(check int) "primary copy empty" 0 (Qm.depth (Site.qm a) "rq");
+      Alcotest.(check int) "standby replayed no element" 0
+        (Qm.depth (Site.qm b) "rq"))
+
+let test_peer_down_degrades_then_resyncs () =
+  H.run_fiber' (fun s ->
+      let a, b, ha_a, _ = make_ha_pair s in
+      let qm = Site.qm a in
+      let h, _ = Qm.register qm ~queue:"rq" ~registrant:"t" ~stable:false in
+      ignore (Qm.auto_commit qm (fun id -> Qm.enqueue qm id h "one"));
+      let resyncs_before = Ha.resyncs ha_a in
+      Site.crash b;
+      (* Availability over the old Replica's consistency-first abort: the
+         enqueue must still commit, the link must degrade. *)
+      ignore (Qm.auto_commit qm (fun id -> Qm.enqueue qm id h "two"));
+      Alcotest.(check int) "primary served alone" 2 (Qm.depth qm "rq");
+      Alcotest.(check bool) "link degraded" true (Ha.degrades ha_a >= 1);
+      Alcotest.(check bool) "not shipping" false (Ha.shipping ha_a);
+      (* The failed standby returns; the link daemon resyncs it with a
+         full snapshot, catching up the element committed while it was
+         away. *)
+      Site.restart b;
+      let deadline = Sched.clock () +. 10.0 in
+      while
+        (not (Ha.shipping ha_a && Ha.resyncs ha_a > resyncs_before))
+        && Sched.clock () < deadline
+      do
+        Sched.sleep 0.1
+      done;
+      Alcotest.(check bool) "resynced" true (Ha.resyncs ha_a > resyncs_before);
+      Alcotest.(check (list int64)) "standby caught up after resync"
+        (eids a "rq") (eids b "rq"))
+
+let ha_suite =
+  [
+    Alcotest.test_case "sync ship mirrors queue state" `Quick
+      test_sync_ship_mirrors_state;
+    Alcotest.test_case "abort ships no state" `Quick test_abort_ships_no_state;
+    Alcotest.test_case "peer down degrades, resync catches up" `Quick
+      test_peer_down_degrades_then_resyncs;
+  ]
+
+(* --- failover: the scenario world under kills around every HA step ------- *)
+
+let check_pass name (o : Scenario.outcome) =
+  Alcotest.(check string)
+    (name ^ ": auditors")
+    "all auditors passed"
+    (Audit.findings_to_string o.Scenario.findings);
+  Alcotest.(check int) (name ^ ": every reply delivered") o.Scenario.requests
+    o.Scenario.replies
+
+let plan faults = Plan.make ~seed:0 ~policy:`Fifo ~faults
+
+let test_ha_fault_free () =
+  check_pass "fault-free" (Scenario.run Scenario.ha (plan []))
+
+let test_kill_primary_before_first_ship () =
+  (* t=0.05: before any conversation traffic shipped — the standby
+     promotes from (at most) registration state and serves every request
+     itself. *)
+  check_pass "kill before ship"
+    (Scenario.run Scenario.ha
+       (plan [ Plan.Crash { node = "primary"; at = 0.05; recover_after = 6.0 } ]))
+
+let test_kill_primary_at_ship_sent () =
+  (* The backup holds the first batch and has acked it; the primary dies
+     before releasing the committer (no reply escaped). *)
+  check_pass "kill at ship.sent"
+    (Scenario.ha_crash_at ~site:"ship.sent" ~hit:1 ~victim:"primary"
+       ~recover_after:6.0)
+
+let test_kill_primary_at_ship_applied () =
+  (* The batch is durable on the backup but the ack is still in flight:
+     the primary dies mid-RPC, the shipped effects must survive on the
+     promoted standby exactly once. *)
+  check_pass "kill at ship.applied"
+    (Scenario.ha_crash_at ~site:"ship.applied" ~hit:1 ~victim:"primary"
+       ~recover_after:6.0)
+
+let test_kill_backup_during_promote () =
+  (* The standby dies inside promotion, before the durable role flip: its
+     next incarnation must detect the still-dead primary and promote
+     again, and the auditors must hold across the repeated takeover. *)
+  check_pass "kill during promote"
+    (Scenario.ha_crash_at ~site:"ha.promote" ~hit:1 ~victim:"backup"
+       ~recover_after:4.0)
+
+let test_double_failover () =
+  (* Primary dies; backup promotes (epoch 2); ex-primary returns, demotes
+     itself into the standby seat; then the new primary dies too and the
+     recovered ex-primary takes the service back (epoch 3). *)
+  check_pass "double failover"
+    (Scenario.run Scenario.ha
+       (plan
+          [
+            Plan.Crash { node = "primary"; at = 2.0; recover_after = 4.0 };
+            Plan.Crash { node = "backup"; at = 12.0; recover_after = 6.0 };
+          ]))
+
+let failover_suite =
+  [
+    Alcotest.test_case "fault-free pair" `Quick test_ha_fault_free;
+    Alcotest.test_case "kill primary before first ship" `Quick
+      test_kill_primary_before_first_ship;
+    Alcotest.test_case "kill primary at ship.sent" `Quick
+      test_kill_primary_at_ship_sent;
+    Alcotest.test_case "kill primary at ship.applied" `Quick
+      test_kill_primary_at_ship_applied;
+    Alcotest.test_case "kill backup during promote" `Quick
+      test_kill_backup_during_promote;
+    Alcotest.test_case "double failover" `Quick test_double_failover;
+  ]
+
+(* --- distributed commit atomicity under a crash-time sweep ---------------- *)
+
+(* A transaction enqueues on two sites via 2PC while site B crashes at a
+   swept offset. Whatever the timing, after recovery both queues must agree
+   (both have the element or neither). *)
+let atomicity_at_crash_time crash_at =
+  H.run_fiber' (fun s ->
+      let net = Net.create s (Rng.create 7) in
+      let a =
+        Site.create ~queues:[ ("qa", Qm.default_attrs) ] ~stale_timeout:1.0
+          (Net.make_node net "siteA")
+      in
+      let b =
+        Site.create ~queues:[ ("qb", Qm.default_attrs) ] ~stale_timeout:1.0
+          (Net.make_node net "siteB")
+      in
+      Sched.at s crash_at (fun () -> Site.crash_restart b ~after:1.0);
+      let committed =
+        match
+          Site.with_txn a (fun txn ->
+              let h, _ =
+                Qm.register (Site.qm a) ~queue:"qa" ~registrant:"t" ~stable:false
+              in
+              ignore (Qm.enqueue (Site.qm a) (Tm.txn_id txn) h "x");
+              Site.remote_enqueue a txn ~dst:"siteB" ~queue:"qb" "x")
+        with
+        | () -> true
+        | exception Site.Aborted _ -> false
+      in
+      (* allow in-doubt resolution and commit redelivery to settle *)
+      Sched.sleep 15.0;
+      let da = Qm.depth (Site.qm a) "qa" in
+      let db = Qm.depth (Site.qm b) "qb" in
+      (committed, da, db))
+
+let test_2pc_atomic_under_crash_sweep () =
+  List.iter
+    (fun crash_at ->
+      let committed, da, db = atomicity_at_crash_time crash_at in
+      let tag = Printf.sprintf "crash at %.3f (committed=%b)" crash_at committed in
+      Alcotest.(check bool)
+        (tag ^ ": both or neither")
+        true
+        ((da = 1 && db = 1) || (da = 0 && db = 0));
+      if committed then
+        Alcotest.(check int) (tag ^ ": committed implies both") 1 da)
+    [ 0.001; 0.004; 0.008; 0.012; 0.016; 0.02; 0.03; 0.05 ]
+
+(* --- content-based scheduling (ranked dequeue, paper 11) ------------------ *)
+
+let test_ranked_dequeue_highest_dollar_first () =
+  H.run_fiber (fun () ->
+      let disk = Rrq_storage.Disk.create "n" in
+      let qm = Qm.open_qm disk ~name:"qm" in
+      Qm.create_queue qm "orders";
+      let h, _ = Qm.register qm ~queue:"orders" ~registrant:"t" ~stable:false in
+      List.iter
+        (fun (p, amt) ->
+          ignore
+            (Qm.auto_commit qm (fun id ->
+                 Qm.enqueue qm id h ~props:[ ("amount", string_of_int amt) ] p)))
+        [ ("small", 10); ("huge", 5000); ("medium", 300) ];
+      let rank el =
+        match Element.prop el "amount" with
+        | Some a -> float_of_string a
+        | None -> 0.0
+      in
+      let next () =
+        match
+          Qm.auto_commit qm (fun id -> Qm.dequeue qm id h ~rank Qm.No_wait)
+        with
+        | Some el -> el.Element.payload
+        | None -> "<empty>"
+      in
+      let first = next () in
+      let second = next () in
+      let third = next () in
+      Alcotest.(check (list string)) "largest amounts first"
+        [ "huge"; "medium"; "small" ]
+        [ first; second; third ])
+
+let test_ranked_dequeue_with_filter () =
+  H.run_fiber (fun () ->
+      let disk = Rrq_storage.Disk.create "n" in
+      let qm = Qm.open_qm disk ~name:"qm" in
+      Qm.create_queue qm "orders";
+      let h, _ = Qm.register qm ~queue:"orders" ~registrant:"t" ~stable:false in
+      List.iter
+        (fun (p, kind, amt) ->
+          ignore
+            (Qm.auto_commit qm (fun id ->
+                 Qm.enqueue qm id h
+                   ~props:[ ("kind", kind); ("amount", string_of_int amt) ]
+                   p)))
+        [ ("a", "sell", 100); ("b", "buy", 900); ("c", "sell", 500) ];
+      let rank el =
+        match Element.prop el "amount" with
+        | Some a -> float_of_string a
+        | None -> 0.0
+      in
+      match
+        Qm.auto_commit qm (fun id ->
+            Qm.dequeue qm id h ~filter:(Filter.Prop_eq ("kind", "sell")) ~rank
+              Qm.No_wait)
+      with
+      | Some el ->
+        Alcotest.(check string) "largest sell, not the larger buy" "c"
+          el.Element.payload
+      | None -> Alcotest.fail "expected an element")
+
+let atomicity_suite =
+  [
+    Alcotest.test_case "2PC atomic under crash sweep" `Quick
+      test_2pc_atomic_under_crash_sweep;
+  ]
+
+let scheduling_suite =
+  [
+    Alcotest.test_case "highest dollar first" `Quick
+      test_ranked_dequeue_highest_dollar_first;
+    Alcotest.test_case "rank + filter" `Quick test_ranked_dequeue_with_filter;
+  ]
+
+let () =
+  Alcotest.run "rrq-ha"
+    [
+      ("ha", ha_suite);
+      ("failover", failover_suite);
+      ("atomicity", atomicity_suite);
+      ("scheduling", scheduling_suite);
+    ]

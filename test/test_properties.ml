@@ -231,6 +231,100 @@ let prop_element_roundtrip =
       && el'.Element.abort_code = el.Element.abort_code
       && el'.Element.status = Element.Ready)
 
+(* --- HA shipping: prefix replay consistency -------------------------------- *)
+
+(* The correctness core of WAL shipping (and of the warm standby's takeover
+   claim): whatever prefix of the shipped record stream reaches the backup
+   before the primary dies, replaying it yields the primary's committed
+   queue state as of some ship boundary — never a torn state. Random op
+   sequences (enqueues, dequeues, explicit two-phase commits) run against a
+   primary QM with a capturing shipper; every prefix of the captured stream
+   is replayed into a fresh standby QM and compared against the snapshot
+   taken at the largest covered boundary. A cut between a shipped prepare
+   and its commit must leave the transaction prepared, not applied. *)
+let prop_ha_prefix_consistent =
+  QCheck2.Test.make ~name:"ha: shipped-prefix replay is prefix-consistent"
+    ~count:60
+    QCheck2.Gen.(list_size (int_bound 30) (tup2 (int_bound 5) (int_bound 4)))
+    (fun ops ->
+      H.run_fiber (fun () ->
+          let module Gc = Rrq_wal.Group_commit in
+          let disk = Disk.create "p" in
+          let qm = Qm.open_qm disk ~name:"qmp" in
+          let shipped = ref [] in
+          let nship = ref 0 in
+          Gc.set_shipper ~sync:true (Qm.group_commit qm) (fun batch ->
+              List.iter
+                (fun (_, r) ->
+                  shipped := r :: !shipped;
+                  incr nship)
+                batch);
+          Qm.create_queue qm "q";
+          let h, _ = Qm.register qm ~queue:"q" ~registrant:"p" ~stable:true in
+          Gc.force (Qm.group_commit qm);
+          let state_of m =
+            (* A short prefix may predate the queue-creation record. *)
+            match Qm.elements m "q" with
+            | els ->
+              List.map
+                (fun el ->
+                  (el.Element.eid, el.Element.payload, el.Element.priority))
+                els
+            | exception Qm.No_such_queue _ -> []
+          in
+          let snaps = ref [ (!nship, state_of qm) ] in
+          List.iteri
+            (fun i (op, prio) ->
+              (match op with
+              | 0 | 1 | 2 ->
+                ignore
+                  (Qm.auto_commit qm (fun id ->
+                       Qm.enqueue qm id h ~priority:prio
+                         (Printf.sprintf "e%d" i)))
+              | 3 ->
+                ignore
+                  (Qm.auto_commit qm (fun id -> Qm.dequeue qm id h Qm.No_wait))
+              | _ ->
+                (* Explicit two-phase commit: a shipped prepare record with
+                   its commit record one or more cuts later. *)
+                let id = Txid.make ~origin:"coord" ~inc:1 ~n:(1000 + i) in
+                ignore (Qm.enqueue qm id h ~priority:prio (Printf.sprintf "t%d" i));
+                let p = Qm.participant qm in
+                if p.Tm.p_prepare id ~coordinator:"coord" then
+                  ignore (p.Tm.p_commit id));
+              snaps := (!nship, state_of qm) :: !snaps)
+            ops;
+          let records = Array.of_list (List.rev !shipped) in
+          let total = Array.length records in
+          let expected_at k =
+            (* The committed state at the largest ship boundary <= k. *)
+            List.fold_left
+              (fun (bc, bs) (c, s) -> if c <= k && c > bc then (c, s) else (bc, bs))
+              (-1, []) !snaps
+            |> snd
+          in
+          let ok = ref true in
+          for k = 0 to total do
+            let bqm = Qm.open_qm (Disk.create "b") ~name:"qmb" in
+            for i = 0 to k - 1 do
+              Qm.standby_apply bqm records.(i)
+            done;
+            Qm.standby_force bqm;
+            if state_of bqm <> expected_at k then begin
+              ok := false;
+              QCheck2.Test.fail_reportf
+                "prefix %d/%d: backup state diverges from the boundary state"
+                k total
+            end;
+            if k = total && Qm.in_doubt bqm <> [] then begin
+              ok := false;
+              QCheck2.Test.fail_reportf
+                "full replay left %d transactions in doubt"
+                (List.length (Qm.in_doubt bqm))
+            end
+          done;
+          !ok))
+
 (* --- observability: the registry obeys conservation laws ------------------ *)
 
 (* Random transactional workloads over one TM and one QM. Whatever the mix
@@ -317,6 +411,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_qm_dequeue_order;
           QCheck_alcotest.to_alcotest prop_qm_rank_max;
         ] );
+      ("ha", [ QCheck_alcotest.to_alcotest prop_ha_prefix_consistent ]);
       ("obs", [ QCheck_alcotest.to_alcotest prop_obs_conservation ]);
       ("umbrella", [ Alcotest.test_case "links" `Quick test_umbrella_links ]);
       ( "codecs",
