@@ -1,6 +1,6 @@
 # Convenience targets; dune does the real work. See doc/CI.md.
 
-.PHONY: all build test quick-test lint lint-graph witness check sim ha-check stats bench bench-smoke clean
+.PHONY: all build test quick-test lint lint-graph witness check sim ha-check shard-check stats bench bench-smoke clean
 
 all: build
 
@@ -47,6 +47,14 @@ ha-check:
 	dune exec test/test_check.exe -- test ha
 	dune exec bench/main.exe -- --smoke --only B15
 
+# The shard campaign alone (also runs as part of `dune runtest`):
+# sharded explorer + misroute-bug catch + shard crash-site sweep, then the
+# B13 scale-out benchmark at smoke scale.
+shard-check:
+	dune exec test/test_check.exe -- test sharded
+	dune exec bin/rrq_demo.exe -- check --scenario sharded --sites
+	dune exec bench/main.exe -- --smoke --only B13
+
 # Observability smoke: a fault-free recorded run, metrics registry dump.
 stats:
 	dune exec bin/rrq_demo.exe -- stats
@@ -58,11 +66,12 @@ bench:
 	dune exec bench/main.exe
 
 # The perf-path smoke (also runs as part of `dune runtest`): B1 (queue op
-# micro-costs incl. the main-memory fast path), B12 (group commit) and B14
-# (adaptive policy) at tiny iteration counts — exercises the measurement
-# harness and the seal-reason counters, does not produce meaningful numbers.
+# micro-costs incl. the main-memory fast path), B12 (group commit), B13
+# (sharded scale-out) and B14 (adaptive policy) at tiny iteration counts —
+# exercises the measurement harness and the seal-reason counters, does not
+# produce meaningful numbers.
 bench-smoke:
-	dune exec bench/main.exe -- --smoke --only B1 --only B12 --only B14
+	dune exec bench/main.exe -- --smoke --only B1 --only B12 --only B13 --only B14
 
 clean:
 	dune clean

@@ -93,7 +93,10 @@ let check_cmd =
                  quickstart-mm (main-memory queue fast path), ha \
                  (primary-backup pair under crash/partition faults), \
                  ha-lagged (lag-buggy WAL shipper - a designed catchable \
-                 anomaly) or buggy (clerk with untagged blind re-sends).")
+                 anomaly), sharded (three shard repositories with a mid-run \
+                 map change, forwarding and cross-shard 2PC), sharded-buggy \
+                 (tag-stripping forwarder - a designed catchable anomaly) \
+                 or buggy (clerk with untagged blind re-sends).")
   in
   let budget =
     Arg.(value & opt int 200 & info [ "budget" ] ~docv:"N"
@@ -128,24 +131,60 @@ let check_cmd =
       match C.Scenario.by_name scen_name with
       | Some s -> s
       | None ->
-        Printf.eprintf "unknown scenario %S (try quickstart, quickstart-mm, ha, ha-lagged or buggy)\n" scen_name;
+        Printf.eprintf "unknown scenario %S (try quickstart, quickstart-mm, ha, ha-lagged, sharded, sharded-buggy or buggy)\n" scen_name;
         exit 2
     in
     if sites then begin
       let failures = ref 0 in
+      let report site hit o =
+        if C.Scenario.failed o then begin
+          incr failures;
+          Printf.printf "  %-28s hit %d  FAILED: %s\n" site hit
+            (C.Audit.findings_to_string o.C.Scenario.findings)
+        end
+      in
       let visited =
-        C.Sweep.crash_sites
-          ~probe:(fun () ->
-            let clean = C.Plan.make ~seed:0 ~policy:`Fifo ~faults:[] in
-            ignore (C.Scenario.run C.Scenario.quickstart clean))
-          ~at:(fun ~site ~hit ->
-            let o = C.Scenario.quickstart_crash_at ~site ~hit ~recover_after:1.0 in
-            if C.Scenario.failed o then begin
-              incr failures;
-              Printf.printf "  %-28s hit %d  FAILED: %s\n" site hit
-                (C.Audit.findings_to_string o.C.Scenario.findings)
-            end)
-          ()
+        match scen_name with
+        | "sharded" | "sharded-buggy" ->
+          (* Each crash-site name embeds the node that reaches it (the WAL
+             and TM bases are per-shard); kill that shard, else shard0. *)
+          let contains hay needle =
+            let nl = String.length needle and hl = String.length hay in
+            let rec go i =
+              i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+            in
+            go 0
+          in
+          let victim_of site =
+            match
+              List.find_opt (contains site) [ "shard0"; "shard1"; "shard2" ]
+            with
+            | Some v -> v
+            | None -> "shard0"
+          in
+          let visited = C.Scenario.sharded_crash_sites () in
+          List.iter
+            (fun (site, hits) ->
+              for hit = 1 to hits do
+                report site hit
+                  (C.Scenario.sharded_crash_at ~site ~hit
+                     ~victim:(victim_of site) ~recover_after:1.0)
+              done)
+            visited;
+          visited
+        | _ ->
+          C.Sweep.crash_sites
+            ~probe:(fun () ->
+              let clean = C.Plan.make ~seed:0 ~policy:`Fifo ~faults:[] in
+              ignore (C.Scenario.run scenario clean))
+            ~at:(fun ~site ~hit ->
+              let crash_at =
+                if scen_name = "quickstart-mm" then
+                  C.Scenario.quickstart_mm_crash_at
+                else C.Scenario.quickstart_crash_at
+              in
+              report site hit (crash_at ~site ~hit ~recover_after:1.0))
+            ()
       in
       let combos = List.fold_left (fun a (_, n) -> a + n) 0 visited in
       Printf.printf "crash-site sweep: %d sites, %d (site, hit) combinations\n"

@@ -22,6 +22,7 @@ module Server = Rrq_core.Server
 module Clerk = Rrq_core.Clerk
 module Envelope = Rrq_core.Envelope
 module Ha = Rrq_core.Ha
+module Shard = Rrq_core.Shard
 module Kvdb = Rrq_kvdb.Kvdb
 
 type outcome = {
@@ -492,6 +493,255 @@ let ha_crash_sites () =
 let ha_crash_at ~site ~hit ~victim ~recover_after =
   run_ha ~armed:(site, hit, victim, recover_after) ha_probe_plan
 
+(* ---- sharded multi-repository scale-out --------------------------------- *)
+
+(* Three shard repositories, each a full site (own WAL/TM/QM) running the
+   counting server on its partition of the shared request queue. Clients are
+   shard-aware clerks starting from map v1, which pins every client's
+   request key onto shard0; at [shard_map_change_at] an admin fiber installs
+   v2 (pins dropped, pure hash placement), moving every key off shard0
+   mid-run. Chosen so the change exercises everything at once:
+   - under v2 the hash owners of req#s0/s1/s2 are shard2/shard1/shard1 —
+     every stale-mapped client gets forwarded (and refreshed by piggyback);
+   - reply queues hash to shard1/shard2/shard0, so servers finish requests
+     with cross-shard 2PC reply enqueues from the very first request;
+   - retries that straddle the change reach owners with no local
+     registration record, forcing the registration pull. *)
+
+let shard_nodes = [ "shard0"; "shard1"; "shard2" ]
+let shard_map_change_at = 1.0
+let sharded_clients = 3
+let sharded_reqs = 2
+
+let sharded_rids =
+  List.concat
+    (List.init sharded_clients (fun c ->
+         List.init sharded_reqs (fun r -> Printf.sprintf "s%d-r%d" c r)))
+
+let shard_map_v1 =
+  {
+    Shard.version = 1;
+    shards = shard_nodes;
+    backups = [];
+    sharded_queues = [ "req" ];
+    pins =
+      List.init sharded_clients (fun c ->
+          (Printf.sprintf "req#s%d" c, "shard0"));
+  }
+
+let shard_map_v2 = { shard_map_v1 with Shard.version = 2; pins = [] }
+
+(* [good_client] with shard routing, pausing between requests so the second
+   one straddles the map change (the pause beats [shard_map_change_at] even
+   when outages delay the first request — later is fine, the map only gets
+   newer). *)
+let sharded_client ~client_node ~id ~replies () =
+  let client_id = Printf.sprintf "s%d" id in
+  let rec connect n =
+    match
+      Clerk.connect ~client_node ~system:"shard0" ~shard_map:shard_map_v1
+        ~client_id ~req_queue:"req" ~retries:8 ()
+    with
+    | clerk, _ -> clerk
+    | exception Clerk.Unavailable _ when n > 0 ->
+      Sched.sleep 1.0;
+      connect (n - 1)
+  in
+  let clerk = connect 60 in
+  for r = 0 to sharded_reqs - 1 do
+    if r > 0 then Sched.sleep (shard_map_change_at +. 0.2);
+    let rid = Printf.sprintf "%s-r%d" client_id r in
+    let rec send n =
+      try ignore (Clerk.send clerk ~rid ("work:" ^ rid))
+      with Clerk.Unavailable _ when n > 0 ->
+        Sched.sleep 1.0;
+        send (n - 1)
+    in
+    send 60;
+    let deadline = Sched.clock () +. 60.0 in
+    let rec recv () =
+      let reply =
+        try Clerk.receive clerk ~timeout:2.0 ()
+        with Clerk.Unavailable _ ->
+          Sched.sleep 1.0;
+          None
+      in
+      match reply with
+      | Some env when env.Envelope.kind <> "intermediate" -> incr replies
+      | _ -> if Sched.clock () < deadline then recv ()
+    in
+    recv ()
+  done
+
+(* [armed] is the HA-style form: a one-shot kill of [victim] at a named
+   crash site, which for [shard.forward:*] fires on the relaying node while
+   the victim may be the owner it relays to. [buggy] attaches the routers
+   with the designed tag-stripping forwarder. *)
+let run_sharded ?armed ?(buggy = false) ?policy (plan : Plan.t) =
+  let pol = match policy with Some p -> p | None -> Plan.sched_policy plan in
+  let replies = ref 0 in
+  let clients_done = ref 0 in
+  let body () =
+    let (findings, vt), sched =
+      Runner.run_scenario_traced ~policy:pol (fun s ->
+          let net =
+            Net.create ~latency:0.005 s (Rng.create ((plan.Plan.seed * 7) + 1))
+          in
+          let sites =
+            List.map
+              (fun name ->
+                let site =
+                  Site.create
+                    ~queues:[ ("req", Qm.default_attrs) ]
+                    ~stale_timeout:3.0
+                    (Net.make_node net name)
+                in
+                ignore
+                  (Server.start site ~req_queue:"req" ~threads:2
+                     Audit.counting_handler);
+                ignore
+                  (Shard.attach ~untag_forward_bug:buggy site shard_map_v1);
+                (name, site))
+              shard_nodes
+          in
+          let client_node = Net.make_node net "client" in
+          inject_named s net sites plan;
+          (match armed with
+          | None -> ()
+          | Some (cp_site, hit, victim, recover_after) ->
+            Crashpoint.reset ();
+            Crashpoint.arm ~site:cp_site ~hit (fun () ->
+                let node = Net.node net victim in
+                if Net.is_up node then begin
+                  let disk = Net.disk node in
+                  Disk.kill_now disk;
+                  Sched.note_fault s
+                    ("crashpoint " ^ cp_site ^ " kills " ^ victim);
+                  Net.crash node;
+                  Disk.revive disk;
+                  Sched.at s
+                    (Sched.now s +. recover_after)
+                    (fun () -> Net.restart node)
+                end;
+                if
+                  Sched.in_fiber ()
+                  && Sched.fiber_group (Sched.self ()) = Some victim
+                then Crashpoint.crash ()));
+          fun () ->
+            (* The map change: an admin pushing v2 to every shard, re-pushing
+               the laggards (crashed or partitioned shards ack after they
+               come back — installs are idempotent by version). *)
+            ignore
+              (Sched.fork ~name:"mapchange" (fun () ->
+                   Sched.sleep shard_map_change_at;
+                   let rec push remaining =
+                     if remaining <> [] then begin
+                       let acked =
+                         Shard.install_from client_node ~shards:remaining
+                           shard_map_v2
+                       in
+                       let rest =
+                         List.filter
+                           (fun sh -> not (List.mem sh acked))
+                           remaining
+                       in
+                       if rest <> [] then begin
+                         Sched.sleep 0.5;
+                         push rest
+                       end
+                     end
+                   in
+                   push shard_nodes));
+            for c = 0 to sharded_clients - 1 do
+              ignore
+                (Sched.fork ~name:(Printf.sprintf "shclient%d" c) (fun () ->
+                     sharded_client ~client_node ~id:c ~replies ();
+                     incr clients_done))
+            done;
+            ignore
+              (Runner.await ~timeout:300.0 (fun () ->
+                   !clients_done = sharded_clients));
+            (* settle: forwards drain, resolvers finish cross-shard 2PC *)
+            Sched.sleep 20.0;
+            let shard_sites () = List.map snd sites in
+            let auditors =
+              [
+                Audit.exactly_once ~sites:shard_sites
+                  ~rids:(fun () -> sharded_rids);
+                Audit.conservation ~name:"exec-total"
+                  ~expected:(List.length sharded_rids)
+                  ~actual:(fun () ->
+                    List.fold_left
+                      (fun acc site ->
+                        acc
+                        +
+                        match
+                          Kvdb.committed_value (Site.kv site) "total"
+                        with
+                        | Some v ->
+                          Option.value ~default:0 (int_of_string_opt v)
+                        | None -> 0)
+                      0 (shard_sites ()));
+                Audit.queue_integrity ~sites:shard_sites;
+                Audit.no_in_doubt ~sites:shard_sites;
+              ]
+            in
+            (Audit.run auditors, Sched.clock ()))
+    in
+    {
+      findings;
+      trace = Sched.trace sched;
+      trace_truncated = Sched.trace_truncated sched;
+      requests = List.length sharded_rids;
+      replies = !replies;
+      virtual_time = vt;
+    }
+  in
+  match armed with
+  | None -> body ()
+  | Some _ -> Fun.protect ~finally:Crashpoint.disable body
+
+let sharded_profile =
+  {
+    Plan.crash_nodes = shard_nodes;
+    partition_pairs =
+      [ ("client", "shard0"); ("shard0", "shard1"); ("shard1", "shard2") ];
+    horizon = 6.0;
+    max_faults = 3;
+  }
+
+let sharded =
+  {
+    name = "sharded";
+    profile = sharded_profile;
+    run = (fun ?policy plan -> run_sharded ?policy plan);
+  }
+
+(* The designed misroute-during-map-change anomaly: the forwarder strips
+   registration tags, so a forwarded operation executes untagged — no
+   registration record at the owner, no duplicate suppression. Fault-free
+   nothing retries and it passes; a lost acknowledgment that straddles the
+   map change re-Sends through the stale pin, gets forwarded again, and the
+   owner executes a second copy. The explorer must catch it and ddmin must
+   shrink the plan. *)
+let sharded_buggy =
+  {
+    name = "sharded-buggy";
+    profile = sharded_profile;
+    run = (fun ?policy plan -> run_sharded ~buggy:true ?policy plan);
+  }
+
+(* ---- shard crash-site sweep entry points -------------------------------- *)
+
+let sharded_crash_sites () =
+  Crashpoint.reset ();
+  Fun.protect ~finally:Crashpoint.disable (fun () ->
+      ignore (run_sharded fault_free);
+      Crashpoint.hit_counts ())
+
+let sharded_crash_at ~site ~hit ~victim ~recover_after =
+  run_sharded ~armed:(site, hit, victim, recover_after) fault_free
+
 (* ---- buggy clerk: untagged Send, blind retry ---------------------------- *)
 
 let buggy_reqs = 6
@@ -605,7 +855,8 @@ let buggy_clerk =
 
 (* ---- registry ----------------------------------------------------------- *)
 
-let all = [ quickstart; quickstart_mm; ha; ha_lagged; buggy_clerk ]
+let all =
+  [ quickstart; quickstart_mm; ha; ha_lagged; sharded; sharded_buggy; buggy_clerk ]
 
 let by_name n = List.find_opt (fun t -> t.name = n) all
 

@@ -49,6 +49,26 @@ val ha_lagged : t
     passes; a primary kill inside the lag window loses or duplicates a
     conversation, which the explorer must find and ddmin must shrink. *)
 
+val sharded : t
+(** Sharded multi-repository scale-out ({!Rrq_core.Shard}): three shard
+    sites, each with its own WAL/TM/QM and counting server, 3 shard-aware
+    clerks x 2 requests. Map v1 pins every client's request key onto
+    shard0; an admin fiber installs v2 (pure hash placement) at t=1, so
+    ownership of every key moves mid-run — stale clients get forwarded and
+    piggyback-refreshed, retried operations at new owners trigger the
+    registration pull, and servers finish requests with cross-shard 2PC
+    reply enqueues. The plan space crashes any shard and partitions
+    client/shard and shard/shard pairs (including mid-2PC); exactly-once,
+    conservation summed across shards, queue-integrity and no-in-doubt
+    must hold regardless. *)
+
+val sharded_buggy : t
+(** The designed misroute-during-map-change anomaly: forwarders strip
+    registration tags, so a retried operation that crosses the map change
+    through a stale pin executes a second untagged copy at the new owner.
+    Passes fault-free; the explorer must find the duplicate and ddmin must
+    shrink the plan. *)
+
 val buggy_clerk : t
 (** A deliberately broken client: untagged Sends and a blind re-Send on
     reply timeout with no rid check. Passes fault-free; duplicates requests
@@ -95,6 +115,20 @@ val ha_crash_at :
     ["backup"]) armed at the [hit]-th reach of [site]. The site may be
     reached on the other node: killing the primary at [ship.applied] fires
     from the backup's apply fiber, modeling death with the ack in flight. *)
+
+val sharded_crash_sites : unit -> (string * int) list
+(** Probe the sharded world fault-free (the in-scenario map change still
+    happens) and enumerate every crash site hit — including the routing
+    sites [shard.route:<node>], [shard.forward:<node>] and
+    [shard.map_install:<node>], alongside each shard's own [wal.*]/[tm.*]
+    sites (whose names embed the shard node). *)
+
+val sharded_crash_at :
+  site:string -> hit:int -> victim:string -> recover_after:float -> outcome
+(** Re-run the sharded probe with a one-shot kill of [victim] (a shard
+    node name) armed at the [hit]-th reach of [site]. A [shard.forward:*]
+    site is reached on the relaying node while the victim may be the owner
+    it relays to — death with the forwarded operation in flight. *)
 
 (** {1 Recorded runs}
 

@@ -21,6 +21,14 @@ type t = {
   mutable last_eid : int64 option;
   (* Virtual send time of the outstanding request, for the rtt metric. *)
   mutable sent_at : float option;
+  (* Shard routing ({!Shard}): when set, every operation is wrapped in
+     [Sh_routed] and sent to the owner of its routing key (then the
+     owner's backup candidates), instead of to [system]. Replies piggyback
+     newer maps; a fully unreachable owner triggers an explicit map
+     refresh, bounded by the same retry budget and backoff as the plain
+     ring rotation — a stale map can cost at most [retries] refresh
+     rounds, never an unbounded forwarding loop. *)
+  mutable smap : Shard.map option;
 }
 
 type connect_info = {
@@ -65,32 +73,108 @@ let rotate t =
     in
     t.system <- next ring
 
-let rpc ?(extra_timeout = 0.0) t msg =
-  let rec go attempts_left =
-    match
-      Net.call t.cnode
-        ~timeout:(t.rpc_timeout +. extra_timeout)
-        ~dst:t.system ~service:"qm" msg
-    with
-    | v -> v
-    | exception (Net.Rpc_timeout | Net.Service_error _) ->
-      if attempts_left <= 0 then
-        raise (Unavailable (Printf.sprintf "system %s unreachable" t.system))
-      else begin
-        rotate t;
-        Sched.sleep (0.5 *. t.rpc_timeout);
-        go (attempts_left - 1)
-      end
-  in
-  go t.retries
+(* Adopt a newer shard map. The [shard.refresh] counter is the visible
+   evidence of every map refresh, piggybacked or explicit. *)
+let install_map t (m : Shard.map) =
+  match t.smap with
+  | Some cur when m.Shard.version <= cur.Shard.version -> ()
+  | Some _ ->
+    t.smap <- Some m;
+    Rrq_obs.Metrics.inc "shard.refresh"
+  | None -> t.smap <- Some m
+
+(* Explicit refresh: ask any repository the map names for its current map
+   (used when every candidate for a key is unreachable — the map may have
+   moved the key from under us). *)
+let refresh_map t =
+  match t.smap with
+  | None -> ()
+  | Some m ->
+    let rec try_nodes = function
+      | [] -> ()
+      | dst :: rest -> (
+        match
+          Net.call t.cnode ~timeout:t.rpc_timeout ~dst ~service:"shard"
+            Shard.Sh_get_map
+        with
+        | Shard.Sh_map nm when nm.Shard.version > m.Shard.version ->
+          install_map t nm
+        | _ -> try_nodes rest
+        | exception (Net.Rpc_timeout | Net.Service_error _) -> try_nodes rest)
+    in
+    try_nodes (Shard.all_nodes m)
+
+(* The owner (under the current map) of one of this client's queues; the
+   configured [system] when not sharded. *)
+let home t queue =
+  match t.smap with
+  | None -> t.system
+  | Some m ->
+    Shard.owner m (Shard.key_for m ~queue ~registrant:t.client_id)
+
+let rpc ?(extra_timeout = 0.0) ?queue t msg =
+  match t.smap with
+  | None ->
+    let rec go attempts_left =
+      match
+        Net.call t.cnode
+          ~timeout:(t.rpc_timeout +. extra_timeout)
+          ~dst:t.system ~service:"qm" msg
+      with
+      | v -> v
+      | exception (Net.Rpc_timeout | Net.Service_error _) ->
+        if attempts_left <= 0 then
+          raise (Unavailable (Printf.sprintf "system %s unreachable" t.system))
+        else begin
+          rotate t;
+          Sched.sleep (0.5 *. t.rpc_timeout);
+          go (attempts_left - 1)
+        end
+    in
+    go t.retries
+  | Some _ ->
+    let q = match queue with Some q -> q | None -> t.req_queue in
+    let rec go attempts_left =
+      let m = match t.smap with Some m -> m | None -> assert false in
+      let key = Shard.key_for m ~queue:q ~registrant:t.client_id in
+      let rec try_cands = function
+        | [] -> None
+        | dst :: rest -> (
+          match
+            Net.call t.cnode
+              ~timeout:(t.rpc_timeout +. extra_timeout)
+              ~dst ~service:"qm"
+              (Shard.Sh_routed
+                 { version = m.Shard.version; hops = 0; inner = msg })
+          with
+          | Shard.Sh_reply { newer; inner } ->
+            (match newer with Some nm -> install_map t nm | None -> ());
+            Some inner
+          | other -> Some other
+          | exception (Net.Rpc_timeout | Net.Service_error _) ->
+            try_cands rest)
+      in
+      match try_cands (Shard.candidates m key) with
+      | Some v -> v
+      | None ->
+        if attempts_left <= 0 then
+          raise
+            (Unavailable (Printf.sprintf "shard owner of %s unreachable" key))
+        else begin
+          refresh_map t;
+          Sched.sleep (0.5 *. t.rpc_timeout);
+          go (attempts_left - 1)
+        end
+    in
+    go t.retries
 
 let do_connect t =
-  (match rpc t (Site.Q_create_queue t.reply_q) with
+  (match rpc t ~queue:t.reply_q (Site.Q_create_queue t.reply_q) with
   | Net.Ack -> ()
   | _ -> raise (Unavailable "unexpected reply to create-queue"));
   let s_rid, s_eid =
     match
-      rpc t
+      rpc t ~queue:t.req_queue
         (Site.Q_register
            { queue = t.req_queue; registrant = t.client_id; stable = true })
     with
@@ -100,7 +184,7 @@ let do_connect t =
   in
   let r_rid, ckpt =
     match
-      rpc t
+      rpc t ~queue:t.reply_q
         (Site.Q_register
            { queue = t.reply_q; registrant = t.client_id; stable = true })
     with
@@ -119,8 +203,9 @@ let do_connect t =
     | Some _, _ -> Client_fsm.Connect_req_sent);
   { s_rid; r_rid; ckpt }
 
-let connect ~client_node ~system ?(backups = []) ~client_id ~req_queue
-    ?reply_queue ?(rpc_timeout = 1.0) ?(retries = 10) ?(strict = false) () =
+let connect ~client_node ~system ?(backups = []) ?shard_map ~client_id
+    ~req_queue ?reply_queue ?(rpc_timeout = 1.0) ?(retries = 10)
+    ?(strict = false) () =
   let t =
     {
       cnode = client_node;
@@ -137,6 +222,7 @@ let connect ~client_node ~system ?(backups = []) ~client_id ~req_queue
       last_rid = None;
       last_eid = None;
       sent_at = None;
+      smap = shard_map;
     }
   in
   let info = do_connect t in
@@ -147,15 +233,20 @@ let reconnect t = do_connect t
 let disconnect t =
   transition t Client_fsm.Disconnect;
   ignore
-    (rpc t (Site.Q_deregister { registrant = t.client_id; queue = t.req_queue }));
+    (rpc t ~queue:t.req_queue
+       (Site.Q_deregister { registrant = t.client_id; queue = t.req_queue }));
   ignore
-    (rpc t (Site.Q_deregister { registrant = t.client_id; queue = t.reply_q }))
+    (rpc t ~queue:t.reply_q
+       (Site.Q_deregister { registrant = t.client_id; queue = t.reply_q }))
 
 let client_id t = t.client_id
 let reply_queue t = t.reply_q
 
+(* The reply destination stamped into every request: the reply queue's
+   owning shard under the current map (stable across map changes by the
+   {!Shard} non-sharded-queue constraint), or the plain system site. *)
 let envelope t ~rid ?kind ?scratch ?step ~body () =
-  Envelope.make ~rid ~client_id:t.client_id ~reply_node:t.system
+  Envelope.make ~rid ~client_id:t.client_id ~reply_node:(home t t.reply_q)
     ~reply_queue:t.reply_q ?kind ?scratch ?step body
 
 let send t ~rid ?(props = []) ?kind ?scratch ?step body =
@@ -168,7 +259,7 @@ let send t ~rid ?(props = []) ?kind ?scratch ?step body =
       | _ -> Client_fsm.Send);
   let env = envelope t ~rid ?kind ?scratch ?step ~body () in
   match
-    rpc t
+    rpc t ~queue:t.req_queue
       (Site.Q_enqueue
          {
            registrant = t.client_id;
@@ -195,16 +286,22 @@ let send_oneway t ~rid ?(props = []) body =
   let env = envelope t ~rid ~body () in
   t.last_rid <- Some rid;
   t.last_eid <- None;
-  Net.cast t.cnode ~dst:t.system ~service:"qm"
-    (Site.Q_enqueue
-       {
-         registrant = t.client_id;
-         queue = t.req_queue;
-         tag = Some (Tag.send ~rid);
-         props = Envelope.props env @ props;
-         priority = 0;
-         body = Envelope.to_string env;
-       })
+  let op =
+    Site.Q_enqueue
+      {
+        registrant = t.client_id;
+        queue = t.req_queue;
+        tag = Some (Tag.send ~rid);
+        props = Envelope.props env @ props;
+        priority = 0;
+        body = Envelope.to_string env;
+      }
+  in
+  match t.smap with
+  | None -> Net.cast t.cnode ~dst:t.system ~service:"qm" op
+  | Some m ->
+    Net.cast t.cnode ~dst:(home t t.req_queue) ~service:"qm"
+      (Shard.Sh_routed { version = m.Shard.version; hops = 0; inner = op })
 
 let decode_view = function
   | None -> None
@@ -212,7 +309,7 @@ let decode_view = function
 
 let receive t ?ckpt ?(timeout = 30.0) () =
   match
-    rpc ~extra_timeout:timeout t
+    rpc ~extra_timeout:timeout t ~queue:t.reply_q
       (Site.Q_dequeue
          {
            registrant = t.client_id;
@@ -252,7 +349,8 @@ let receive t ?ckpt ?(timeout = 30.0) () =
 let rereceive t =
   transition t Client_fsm.Rereceive;
   match
-    rpc t (Site.Q_read_last { registrant = t.client_id; queue = t.reply_q })
+    rpc t ~queue:t.reply_q
+      (Site.Q_read_last { registrant = t.client_id; queue = t.reply_q })
   with
   | Site.R_element v -> decode_view v
   | _ -> raise (Unavailable "unexpected reply to read-last")
@@ -265,7 +363,7 @@ let cancel_last_request t =
   match t.last_eid with
   | None -> false
   | Some eid -> begin
-    match rpc t (Site.Q_kill eid) with
+    match rpc t ~queue:t.req_queue (Site.Q_kill eid) with
     | Site.R_bool b ->
       (* A successful cancel closes the request: the client may Send anew. *)
       if b && t.fsm = Client_fsm.Req_sent then t.fsm <- Client_fsm.Reply_recvd;
@@ -293,3 +391,5 @@ let cancel_request_anywhere t ~sites ~rid =
 let last_sent_eid t = t.last_eid
 let state t = t.fsm
 let system t = t.system
+let shard_map t = t.smap
+let set_shard_map t m = install_map t m

@@ -41,6 +41,7 @@ exception Protocol_violation of string
 
 val connect :
   client_node:Rrq_net.Net.node -> system:string -> ?backups:string list ->
+  ?shard_map:Shard.map ->
   client_id:string ->
   req_queue:string -> ?reply_queue:string -> ?rpc_timeout:float ->
   ?retries:int -> ?strict:bool -> unit -> t * connect_info
@@ -52,6 +53,14 @@ val connect :
     the clerk rotates to the next candidate and retries — mid-conversation
     failover, with the registration-tag duplicate suppression making the
     retried Send/Receive exactly-once.
+    [shard_map] switches the clerk to shard routing ({!Shard}): every
+    operation goes to the owner of its routing key (then the owner's
+    backup candidates), wrapped with the clerk's map version; replies
+    piggyback newer maps, and when every candidate is unreachable the
+    clerk refreshes the map explicitly. Both refresh paths are bounded by
+    the same [retries] budget and rotation backoff as the plain ring —
+    a stale map can never loop forever — and each adopted map increments
+    the [shard.refresh] counter ({!Rrq_obs.Metrics}).
     With [strict] (default false) every operation is checked against the
     fig. 1/7 state machine and {!Protocol_violation} is raised on an
     illegal sequence; retrying the {e same} Send or Receive is always
@@ -110,7 +119,15 @@ val cancel_request_anywhere : t -> sites:string list -> rid:string -> bool
     original eid no longer exists (§11's element-identity point). *)
 
 val system : t -> string
-(** The repository node the clerk currently believes is primary. *)
+(** The repository node the clerk currently believes is primary (shard
+    routing ignores it except as a fallback identity). *)
+
+val shard_map : t -> Shard.map option
+(** The shard map the clerk is currently routing by. *)
+
+val set_shard_map : t -> Shard.map -> unit
+(** Adopt [map] if it is newer than the current one (counted in
+    [shard.refresh] like any other adoption). *)
 
 val last_sent_eid : t -> int64 option
 

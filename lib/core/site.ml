@@ -269,33 +269,32 @@ let resolver_daemon t () =
     | R_decision `Pending | _ -> ()
     | exception (Net.Rpc_timeout | Net.Service_error _) -> ()
   in
+  (* The daemon must outlive recovery: a participant can become in-doubt
+     long after boot — it prepared for a remote coordinator (a cross-shard
+     reply enqueue) and the coordinator crashed before deciding. Only this
+     poller ever resolves that doubt, so it keeps polling for the node's
+     lifetime rather than exiting once the recovery-time entries drain. *)
   let rec loop () =
-    let qm_doubt = Qm.in_doubt t.s_qm in
-    let kv_doubt = Kvdb.in_doubt t.s_kv in
-    if t.standby then begin
+    if not t.standby then begin
       (* A standby's in-doubt entries come from shipped prepares whose
          outcomes arrive via the shipped TM decision stream; presumed-abort
          resolution here would diverge from the primary. Promotion resolves
          them instead. *)
-      Sched.sleep_background 1.0;
-      loop ()
-    end
-    else if qm_doubt <> [] || kv_doubt <> [] then begin
       List.iter
         (fun entry ->
           resolve_one entry
             ~commit:(fun id -> ignore ((Qm.participant t.s_qm).Tm.p_commit id))
             ~abort:(fun id -> (Qm.participant t.s_qm).Tm.p_abort id))
-        qm_doubt;
+        (Qm.in_doubt t.s_qm);
       List.iter
         (fun entry ->
           resolve_one entry
             ~commit:(fun id -> ignore ((Kvdb.participant t.s_kv).Tm.p_commit id))
             ~abort:(fun id -> (Kvdb.participant t.s_kv).Tm.p_abort id))
-        kv_doubt;
-      Sched.sleep_background 1.0;
-      loop ()
-    end
+        (Kvdb.in_doubt t.s_kv)
+    end;
+    Sched.sleep_background 1.0;
+    loop ()
   in
   loop ()
 

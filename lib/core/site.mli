@@ -182,3 +182,10 @@ type Rrq_net.Net.payload +=
   | RM_commit of { rm : string; id : Rrq_txn.Txid.t }
   | RM_abort of { rm : string; id : Rrq_txn.Txid.t }
   | RM_has_work of { rm : string; id : Rrq_txn.Txid.t }
+
+val clerk_service : t -> Rrq_net.Net.payload -> Rrq_net.Net.payload
+(** The ["qm"] service body: one clerk-facing queue operation against this
+    site's QM (standby-guarded). Exposed so a wrapper service — the shard
+    router ({!Shard.attach}) — can delegate the operations it decides to
+    serve locally while intercepting the rest.
+    @raise Invalid_argument on a non-clerk payload. *)

@@ -228,6 +228,8 @@ module Event = struct
     | Clerk_send of { client : string; rid : string; eid : int64 }
     | Clerk_receive of { client : string; rid : string }
     | Server_exec of { server : string; rid : string; txid : string }
+    | Shard_forward of { node : string; owner : string; version : int }
+    | Shard_map_install of { node : string; version : int }
 
   (* kind tag + named fields; the names feed the JSON renderer, the order
      feeds the '|'-separated codec. *)
@@ -285,6 +287,12 @@ module Event = struct
       ("receive", [ ("client", client); ("rid", rid) ])
     | Server_exec { server; rid; txid } ->
       ("exec", [ ("server", server); ("rid", rid); ("txid", txid) ])
+    | Shard_forward { node; owner; version } ->
+      ( "shfwd",
+        [ ("node", node); ("owner", owner); ("version", string_of_int version) ]
+      )
+    | Shard_map_install { node; version } ->
+      ("shmap", [ ("node", node); ("version", string_of_int version) ])
 
   let escape s =
     let b = Buffer.create (String.length s) in
@@ -376,10 +384,14 @@ module Event = struct
       Clerk_send { client; rid; eid = Int64.of_string eid }
     | [ "receive"; client; rid ] -> Clerk_receive { client; rid }
     | [ "exec"; server; rid; txid ] -> Server_exec { server; rid; txid }
+    | [ "shfwd"; node; owner; version ] ->
+      Shard_forward { node; owner; version = int_of_string version }
+    | [ "shmap"; node; version ] ->
+      Shard_map_install { node; version = int_of_string version }
     | _ -> failwith ("Rrq_obs.Event.of_string: unparseable event: " ^ s)
 
   (* Numeric-looking fields stay numeric in JSON for easy jq filtering. *)
-  let numeric_fields = [ "lsn"; "bytes"; "batch"; "hit"; "found" ]
+  let numeric_fields = [ "lsn"; "bytes"; "batch"; "hit"; "found"; "version" ]
 
   let to_json_line ~ts t =
     let kind, fs = fields t in

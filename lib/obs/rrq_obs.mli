@@ -112,6 +112,13 @@ module Event : sig
     | Clerk_send of { client : string; rid : string; eid : int64 }
     | Clerk_receive of { client : string; rid : string }
     | Server_exec of { server : string; rid : string; txid : string }
+    | Shard_forward of { node : string; owner : string; version : int }
+        (** A shard repository received an operation it does not own under
+            its current map and relayed it to [owner]; [version] is the
+            {e requester's} map version (a lower number than the node's own
+            means a stale clerk was redirected). *)
+    | Shard_map_install of { node : string; version : int }
+        (** A shard repository accepted shard-map [version]. *)
 
   val to_string : t -> string
   (** Compact single-line form: kind and fields joined with ['|'],

@@ -919,6 +919,14 @@ let reg_of t h =
   | None ->
     raise (Not_registered (Printf.sprintf "%s@%s" h.h_registrant h.h_queue))
 
+(* Read-only: no registration is created and nothing is logged, so a
+   peer repository can be probed for duplicate-suppression evidence
+   (shard registration pull) without perturbing its durable state. *)
+let lookup_registration t ~queue ~registrant =
+  match Hashtbl.find_opt t.regs (registrant, queue) with
+  | Some reg when reg.r_stable -> reg.r_last
+  | _ -> None
+
 let deregister t h =
   ignore (reg_of t h);
   log_now t

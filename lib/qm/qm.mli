@@ -167,6 +167,15 @@ val register :
 val deregister : t -> handle -> unit
 (** Durably destroy the registration and its saved state. *)
 
+val lookup_registration :
+  t -> queue:string -> registrant:string -> last_op option
+(** Read-only probe of a stable registration's last tagged operation:
+    nothing is created, nothing is logged. [None] when the registrant is
+    unknown here (or registered [stable:false]). This is what a shard
+    repository answers a peer's registration pull with — the
+    duplicate-suppression evidence for a retried operation that crossed a
+    shard-map change. *)
+
 val handle_queue : handle -> string
 val handle_registrant : handle -> string
 

@@ -12,7 +12,13 @@
    - the HA pair: >= 200 random fault plans (primary kills, client
      partitions) pass every auditor through failover, the lag-buggy
      shipper is caught and shrunk, and killing the primary at every
-     replication crash site (ship and ha prefixes) fails over cleanly. *)
+     replication crash site (ship and ha prefixes) fails over cleanly;
+   - the sharded world: >= 200 random fault plans (shard kills,
+     client/shard and shard/shard partitions) across a mid-run shard-map
+     change pass every auditor, the tag-stripping forwarder (the designed
+     misroute-during-map-change anomaly) is caught and shrunk, and killing
+     the reaching shard at every shard./wal./tm. crash site recovers to a
+     clean audit. *)
 
 module Sched = Rrq_sim.Sched
 module C = Rrq_check
@@ -383,6 +389,130 @@ let test_ha_crash_site_sweep () =
     "every replication crash point failed over cleanly" []
     (List.rev !failures)
 
+(* ---- the sharded multi-repository world --------------------------------- *)
+
+(* The explorer over the sharded scenario: three shard repositories, a
+   mid-run map change that moves every client's key off shard0, forwarding,
+   registration pulls and cross-shard 2PC reply enqueues — under random
+   crash/partition plans that kill any shard and cut shard/shard links
+   (including mid-2PC). Every schedule must pass exactly-once, conservation
+   summed across shards, queue-integrity and no-in-doubt. *)
+let test_sharded_explore () =
+  (match C.Scenario.by_name "sharded" with
+  | Some s -> Alcotest.(check string) "registered" "sharded" s.C.Scenario.name
+  | None -> Alcotest.fail "sharded not in the scenario registry");
+  let report = C.Explore.run ~budget:200 ~seed:1 C.Scenario.sharded in
+  Alcotest.(check int) "explored the whole budget" 200 report.C.Explore.explored;
+  Alcotest.(check int) "every schedule passed" 200 report.C.Explore.passed;
+  Alcotest.(check bool) "no failure" true (report.C.Explore.failure = None)
+
+(* The designed misroute-during-map-change anomaly: forwarders that strip
+   registration tags. Fault-free every request is forwarded at most once and
+   nothing retries, so it passes; a fault that costs an acknowledgment
+   around the map change makes the stale-pinned retry execute a second,
+   untagged copy at the new owner. The explorer must catch the duplicate
+   and ddmin must shrink the plan to a still-failing core. *)
+let test_sharded_anomaly_caught_and_shrunk () =
+  (match C.Scenario.by_name "sharded-buggy" with
+  | Some s ->
+    Alcotest.(check string) "registered" "sharded-buggy" s.C.Scenario.name
+  | None -> Alcotest.fail "sharded-buggy not in the scenario registry");
+  let clean = C.Plan.make ~seed:0 ~policy:`Fifo ~faults:[] in
+  Alcotest.(check bool) "fault-free buggy run passes" false
+    (C.Scenario.failed (C.Scenario.run C.Scenario.sharded_buggy clean));
+  let report = C.Explore.run ~budget:200 ~seed:1 C.Scenario.sharded_buggy in
+  let f =
+    match report.C.Explore.failure with
+    | Some f -> f
+    | None -> Alcotest.fail "explorer failed to catch the untagging forwarder"
+  in
+  Alcotest.(check bool) "the failing outcome has findings" true
+    (f.C.Explore.outcome.C.Scenario.findings <> []);
+  let minimal = C.Explore.minimal_plan f in
+  Alcotest.(check bool) "shrunk plan is no larger" true
+    (List.length minimal.C.Plan.faults
+    <= List.length f.C.Explore.plan.C.Plan.faults);
+  let o = C.Scenario.run C.Scenario.sharded_buggy minimal in
+  Alcotest.(check bool) "minimal plan still fails" true (C.Scenario.failed o);
+  (* ... and is minimal under single-fault removal. *)
+  List.iteri
+    (fun i _ ->
+      let without =
+        {
+          minimal with
+          C.Plan.faults = List.filteri (fun j _ -> j <> i) minimal.C.Plan.faults;
+        }
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "dropping fault %d makes it pass" i)
+        false
+        (C.Scenario.failed (C.Scenario.run C.Scenario.sharded_buggy without)))
+    minimal.C.Plan.faults;
+  let line = C.Explore.repro_line "sharded-buggy" minimal in
+  Alcotest.(check bool) "repro line carries the plan" true
+    (String.length line > String.length (C.Plan.to_string minimal))
+
+(* Crash-site sweep across the routing machinery AND each shard's own WAL
+   and 2PC sites (their names embed the shard node, so the victim is the
+   shard that reached the site). The fault-free probe still performs the
+   map change, so shard.forward (stale-pin relays), shard.map_install and
+   cross-shard tm.prepared/tm.decided are all on the map. *)
+let shard_swept_prefixes = [ "shard."; "wal."; "tm." ]
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_sharded_crash_site_sweep () =
+  let visited = C.Scenario.sharded_crash_sites () in
+  List.iter
+    (fun site ->
+      Alcotest.(check bool)
+        (Printf.sprintf "probe reaches %s" site)
+        true (List.mem_assoc site visited))
+    [
+      "shard.route:shard0";
+      "shard.route:shard1";
+      "shard.route:shard2";
+      "shard.forward:shard0";
+      "shard.map_install:shard0";
+      "shard.map_install:shard1";
+      "shard.map_install:shard2";
+      "tm.prepared:shard1";
+      "wal.sync:qm@shard2.qmlog";
+    ];
+  let victim_of site =
+    match
+      List.find_opt (contains site) [ "shard0"; "shard1"; "shard2" ]
+    with
+    | Some v -> v
+    | None -> "shard0"
+  in
+  let failures = ref [] in
+  let combos = ref 0 in
+  List.iter
+    (fun (site, hits) ->
+      if List.exists (fun p -> starts_with p site) shard_swept_prefixes then
+        for hit = 1 to hits do
+          incr combos;
+          let o =
+            C.Scenario.sharded_crash_at ~site ~hit ~victim:(victim_of site)
+              ~recover_after:1.0
+          in
+          if C.Scenario.failed o then
+            failures :=
+              Printf.sprintf "%s hit %d: %s" site hit
+                (C.Audit.findings_to_string o.C.Scenario.findings)
+              :: !failures
+        done)
+    visited;
+  Alcotest.(check bool)
+    (Printf.sprintf "swept a substantial shard site space (%d combos)" !combos)
+    true (!combos >= 100);
+  Alcotest.(check (list string)) "every shard crash point recovered cleanly" []
+    (List.rev !failures)
+
 (* ---- recorded runs: the observability layer under the checker ----------- *)
 
 (* A recorded fault-free run must produce a non-empty trace that the
@@ -511,6 +641,15 @@ let () =
             test_ha_lagged_caught_and_shrunk;
           Alcotest.test_case "replication crash-site sweep: ship.*, ha.*"
             `Slow test_ha_crash_site_sweep;
+        ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "shard explorer: 200 random fault plans" `Slow
+            test_sharded_explore;
+          Alcotest.test_case "untagging forwarder caught and shrunk" `Slow
+            test_sharded_anomaly_caught_and_shrunk;
+          Alcotest.test_case "shard crash-site sweep: shard.*, wal.*, tm.*"
+            `Slow test_sharded_crash_site_sweep;
         ] );
       ( "recorded",
         [

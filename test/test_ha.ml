@@ -200,6 +200,175 @@ let failover_suite =
     Alcotest.test_case "double failover" `Quick test_double_failover;
   ]
 
+(* --- an HA pair as one shard of a sharded deployment ---------------------- *)
+
+module Shard = Rrq_core.Shard
+module Server = Rrq_core.Server
+module Clerk = Rrq_core.Clerk
+module Envelope = Rrq_core.Envelope
+module Kvdb = Rrq_kvdb.Kvdb
+
+(* Shard0 is an HA pair (hs0p primary, hs0b warm standby — the shard map
+   lists hs0b as shard0's backup candidate); hs1 and hs2 are plain shard
+   repositories. Client "ha" is pinned entirely onto the pair; client "hb"
+   spans the healthy shards (requests on hs1, replies on hs2, so every one
+   of its requests commits through cross-shard 2PC). Killing hs0p mid-run
+   must fail client "ha" over to the promoted hs0b — same rids, duplicate
+   suppression from shipped registration state — while "hb" and its
+   in-flight cross-shard transactions never notice. *)
+let test_shard_ha_failover () =
+  let replies = ref 0 in
+  let clients_done = ref 0 in
+  let hb_done_at = ref infinity in
+  let rids = [ "ha-r0"; "ha-r1"; "hb-r0"; "hb-r1" ] in
+  let smap =
+    {
+      Shard.version = 1;
+      shards = [ "hs0p"; "hs1"; "hs2" ];
+      backups = [ ("hs0p", [ "hs0b" ]) ];
+      sharded_queues = [ "req" ];
+      pins =
+        [
+          ("req#ha", "hs0p");
+          ("reply.ha", "hs0p");
+          ("req#hb", "hs1");
+          ("reply.hb", "hs2");
+        ];
+    }
+  in
+  let client ~client_node ~client_id () =
+    let rec connect n =
+      match
+        Clerk.connect ~client_node ~system:"hs0p" ~shard_map:smap ~client_id
+          ~req_queue:"req" ~retries:8 ()
+      with
+      | clerk, _ -> clerk
+      | exception Clerk.Unavailable _ when n > 0 ->
+        Sched.sleep 1.0;
+        connect (n - 1)
+    in
+    let clerk = connect 60 in
+    for r = 0 to 1 do
+      (* the second request straddles the t=1.5 primary kill *)
+      if r > 0 then Sched.sleep 1.2;
+      let rid = Printf.sprintf "%s-r%d" client_id r in
+      let rec send n =
+        try ignore (Clerk.send clerk ~rid ("work:" ^ rid))
+        with Clerk.Unavailable _ when n > 0 ->
+          Sched.sleep 1.0;
+          send (n - 1)
+      in
+      send 60;
+      let deadline = Sched.clock () +. 60.0 in
+      let rec recv () =
+        let reply =
+          try Clerk.receive clerk ~timeout:2.0 ()
+          with Clerk.Unavailable _ ->
+            Sched.sleep 1.0;
+            None
+        in
+        match reply with
+        | Some env when env.Envelope.kind <> "intermediate" -> incr replies
+        | _ -> if Sched.clock () < deadline then recv ()
+      in
+      recv ()
+    done
+  in
+  H.run_fiber' (fun s ->
+      let net = Net.create ~latency:0.005 s (Rng.create 99) in
+      let plain name =
+        let site =
+          Site.create ~queues:[ ("req", Qm.default_attrs) ] ~stale_timeout:3.0
+            (Net.make_node net name)
+        in
+        ignore
+          (Server.start site ~req_queue:"req" ~threads:2 Audit.counting_handler);
+        ignore (Shard.attach site smap);
+        site
+      in
+      let site_p =
+        Site.create ~queues:[ ("req", Qm.default_attrs) ] ~stale_timeout:3.0
+          (Net.make_node net "hs0p")
+      in
+      let site_b =
+        Site.create ~queues:[ ("req", Qm.default_attrs) ] ~stale_timeout:3.0
+          (Net.make_node net "hs0b")
+      in
+      let serve ha =
+        ignore
+          (Server.start_here (Ha.site ha) ~req_queue:"req" ~threads:2
+             Audit.counting_handler)
+      in
+      let _ha_p =
+        Ha.attach ~mode:Ha.Sync ~on_serving:serve site_p ~peer:"hs0b"
+          ~role:Ha.Primary
+      in
+      let ha_b =
+        Ha.attach ~mode:Ha.Sync ~on_serving:serve site_b ~peer:"hs0p"
+          ~role:Ha.Standby
+      in
+      ignore (Shard.attach site_p smap);
+      ignore (Shard.attach site_b smap);
+      let site_1 = plain "hs1" in
+      let site_2 = plain "hs2" in
+      let client_node = Net.make_node net "client" in
+      Sched.at s 1.5 (fun () -> Site.crash_restart site_p ~after:8.0);
+      ignore
+        (Sched.fork ~name:"client-ha" (fun () ->
+             client ~client_node ~client_id:"ha" ();
+             incr clients_done));
+      ignore
+        (Sched.fork ~name:"client-hb" (fun () ->
+             client ~client_node ~client_id:"hb" ();
+             hb_done_at := Sched.clock ();
+             incr clients_done));
+      let deadline = Sched.clock () +. 200.0 in
+      while !clients_done < 2 && Sched.clock () < deadline do
+        Sched.sleep 0.25
+      done;
+      Alcotest.(check int) "both clients finished" 2 !clients_done;
+      (* settle: failover, rejoin, resolvers, janitors *)
+      Sched.sleep 25.0;
+      Alcotest.(check bool) "the pair failed over" true (Ha.is_serving ha_b);
+      (* The healthy shards never noticed: client hb's conversations — all
+         cross-shard 2PC — completed before the pair even finished its
+         takeover, let alone the t=9.5 primary recovery. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "hb unaffected by the shard0 failover (done at %.2f)"
+           !hb_done_at)
+        true (!hb_done_at < 5.0);
+      Alcotest.(check int) "every reply delivered" 4 !replies;
+      let pair_auth () = if Ha.is_serving ha_b then site_b else site_p in
+      let auth_sites () = [ pair_auth (); site_1; site_2 ] in
+      let all_sites () = [ site_p; site_b; site_1; site_2 ] in
+      let findings =
+        Audit.run
+          [
+            Audit.exactly_once ~sites:auth_sites ~rids:(fun () -> rids);
+            Audit.conservation ~name:"exec-total" ~expected:(List.length rids)
+              ~actual:(fun () ->
+                List.fold_left
+                  (fun acc site ->
+                    acc
+                    +
+                    match Kvdb.committed_value (Site.kv site) "total" with
+                    | Some v -> Option.value ~default:0 (int_of_string_opt v)
+                    | None -> 0)
+                  0 (auth_sites ()));
+            Audit.queue_integrity ~sites:all_sites;
+            Audit.no_in_doubt ~sites:all_sites;
+          ]
+      in
+      Alcotest.(check string) "auditors across the sharded pair"
+        "all auditors passed"
+        (Audit.findings_to_string findings))
+
+let shard_ha_suite =
+  [
+    Alcotest.test_case "HA pair as one shard: failover isolated" `Quick
+      test_shard_ha_failover;
+  ]
+
 (* --- distributed commit atomicity under a crash-time sweep ---------------- *)
 
 (* A transaction enqueues on two sites via 2PC while site B crashes at a
@@ -328,6 +497,7 @@ let () =
     [
       ("ha", ha_suite);
       ("failover", failover_suite);
+      ("sharded-failover", shard_ha_suite);
       ("atomicity", atomicity_suite);
       ("scheduling", scheduling_suite);
     ]

@@ -201,6 +201,8 @@ let all_variants =
         Clerk_send { client = s; rid = s; eid = 5L };
         Clerk_receive { client = "c"; rid = s };
         Server_exec { server = s; rid = "r"; txid = s };
+        Shard_forward { node = s; owner = "shard1"; version = 3 };
+        Shard_map_install { node = "shard2"; version = 41 };
       ])
     nasty
 

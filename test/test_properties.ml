@@ -389,6 +389,90 @@ let prop_obs_conservation =
                   aborts
               else true)))
 
+(* --- shard map: placement is a function, conservation across shards ------ *)
+
+module Shard = Rrq_core.Shard
+
+(* Random shard maps (1..5 shards, random pins, a version chain where later
+   versions drop the pins) against random element batches. For every map
+   version, every element must route to exactly one shard (the owner is a
+   total, deterministic function into the shard list, honoring pins), and
+   the per-shard buckets must conserve the batch: summed across shards the
+   buckets hold each element exactly once — nothing is lost and nothing is
+   placed twice, whichever version is in force. *)
+let prop_shard_routing =
+  QCheck2.Test.make
+    ~name:"shard: every element routes to exactly one shard, per version"
+    ~count:200
+    QCheck2.Gen.(
+      tup4 (int_range 1 5) (int_bound 8) (int_range 1 25) (int_bound 1_000_000))
+    (fun (nshards, npins, nelems, salt) ->
+      let shards = List.init nshards (Printf.sprintf "n%d") in
+      let elems =
+        List.init nelems (fun i ->
+            Printf.sprintf "req#client%d" ((i * 131) + salt))
+      in
+      let pins =
+        List.filteri (fun i _ -> i < npins) elems
+        |> List.mapi (fun i k -> (k, List.nth shards ((i + salt) mod nshards)))
+      in
+      let v1 =
+        {
+          Shard.version = 1;
+          shards;
+          backups = [];
+          sharded_queues = [ "req" ];
+          pins;
+        }
+      in
+      let versions = [ v1; { v1 with Shard.version = 2; pins = [] } ] in
+      List.for_all
+        (fun m ->
+          (* total + deterministic + pinned *)
+          List.for_all
+            (fun key ->
+              let o = Shard.owner m key in
+              if not (List.mem o m.Shard.shards) then
+                QCheck2.Test.fail_reportf
+                  "v%d: owner of %s is %s, not a shard" m.Shard.version key o
+              else if Shard.owner m key <> o then
+                QCheck2.Test.fail_reportf "v%d: owner of %s not deterministic"
+                  m.Shard.version key
+              else
+                match (List.assoc_opt key m.Shard.pins, Shard.candidates m key) with
+                | Some p, _ when p <> o ->
+                  QCheck2.Test.fail_reportf
+                    "v%d: pin of %s is %s but owner says %s" m.Shard.version
+                    key p o
+                | _, c :: _ when c <> o ->
+                  QCheck2.Test.fail_reportf
+                    "v%d: candidates of %s do not lead with the owner"
+                    m.Shard.version key
+                | _ -> true)
+            elems
+          &&
+          (* conservation summed across shards *)
+          let bucket s = List.filter (fun k -> Shard.owner m k = s) elems in
+          let buckets = List.map bucket m.Shard.shards in
+          let total = List.fold_left (fun a b -> a + List.length b) 0 buckets in
+          if total <> List.length elems then
+            QCheck2.Test.fail_reportf
+              "v%d: buckets sum to %d, batch has %d elements" m.Shard.version
+              total (List.length elems)
+          else
+            List.for_all
+              (fun k ->
+                let holders =
+                  List.length
+                    (List.filter (List.exists (String.equal k)) buckets)
+                in
+                holders = 1
+                || QCheck2.Test.fail_reportf
+                     "v%d: element %s held by %d shards" m.Shard.version k
+                     holders)
+              elems)
+        versions)
+
 (* Umbrella-module smoke: the [Rrq] re-exports resolve and link. *)
 let test_umbrella_links () =
   Alcotest.(check bool) "filter through the umbrella" true
@@ -412,6 +496,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_qm_rank_max;
         ] );
       ("ha", [ QCheck_alcotest.to_alcotest prop_ha_prefix_consistent ]);
+      ("shard", [ QCheck_alcotest.to_alcotest prop_shard_routing ]);
       ("obs", [ QCheck_alcotest.to_alcotest prop_obs_conservation ]);
       ("umbrella", [ Alcotest.test_case "links" `Quick test_umbrella_links ]);
       ( "codecs",
